@@ -1,0 +1,118 @@
+// Command cycsim runs a full CycLedger simulation and prints per-round
+// reports: throughput, fees, recoveries, traffic, and the final reputation
+// leaderboard.
+//
+//	go run ./cmd/cycsim -m 8 -c 20 -rounds 5 -cross 0.33
+//	go run ./cmd/cycsim -malicious 0.1 -behavior conceal -corrupt-leaders
+//	go run ./cmd/cycsim -malicious 0.1 -behavior conceal -corrupt-leaders -no-recovery
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"cycledger/internal/consensus"
+	"cycledger/internal/protocol"
+)
+
+func main() {
+	m := flag.Int("m", 4, "number of committees")
+	c := flag.Int("c", 16, "committee size")
+	lambda := flag.Int("lambda", 3, "partial set size")
+	ref := flag.Int("ref", 9, "referee committee size")
+	rounds := flag.Int("rounds", 3, "rounds to simulate")
+	txs := flag.Int("tx", 30, "transactions offered per committee per round")
+	cross := flag.Float64("cross", 1.0/3, "cross-shard payment fraction")
+	invalid := flag.Float64("invalid", 0, "invalid transaction fraction")
+	malicious := flag.Float64("malicious", 0, "byzantine node fraction")
+	behavior := flag.String("behavior", "invert", "byzantine behavior: invert|lazy|offline|equivocate|forge|conceal|censor")
+	corruptLeaders := flag.Bool("corrupt-leaders", false, "spend the corruption budget on leader seats first")
+	noRecovery := flag.Bool("no-recovery", false, "disable leader re-selection (RapidChain-style baseline)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	par := flag.Int("parallel", 1, "simnet worker pool size (0 = GOMAXPROCS)")
+	ed := flag.Bool("ed25519", false, "use real Ed25519 signatures (slower)")
+	top := flag.Int("top", 5, "reputation leaderboard size")
+	flag.Parse()
+
+	p := protocol.DefaultParams()
+	p.M, p.C, p.Lambda, p.RefSize = *m, *c, *lambda, *ref
+	p.Rounds, p.TxPerCommittee = *rounds, *txs
+	p.CrossFrac, p.InvalidFrac = *cross, *invalid
+	p.MaliciousFrac = *malicious
+	p.CorruptLeaders = *corruptLeaders
+	p.DisableRecovery = *noRecovery
+	p.Seed = *seed
+	p.Parallelism = *par
+	if *ed {
+		p.Scheme = consensus.Ed25519Scheme{}
+	}
+	p.ByzantineBehavior = parseBehavior(*behavior)
+
+	e, err := protocol.NewEngine(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cycsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("cycsim: n=%d nodes, m=%d committees of c=%d (λ=%d), |C_R|=%d, %d rounds\n\n",
+		p.TotalNodes(), p.M, p.C, p.Lambda, p.RefSize, p.Rounds)
+
+	reports, err := e.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cycsim:", err)
+		os.Exit(1)
+	}
+	for _, r := range reports {
+		fmt.Printf("round %d: tx=%d (intra %d, cross %d, rejected %d)  fees=%d  msgs=%d  bytes=%d  Δt=%d\n",
+			r.Round, r.Throughput(), r.IntraIncluded, r.CrossIncluded, r.Rejected,
+			r.Fees, r.Messages, r.Bytes, r.Duration)
+		for _, rec := range r.Recoveries {
+			fmt.Printf("  recovery: committee %d evicted node %d (%s) → node %d\n",
+				rec.Committee, rec.Evicted, rec.Kind, rec.Successor)
+		}
+	}
+
+	fmt.Printf("\nreputation leaderboard (top %d):\n", *top)
+	snap := e.Reputation().Snapshot()
+	type entry struct {
+		name string
+		rep  float64
+	}
+	var entries []entry
+	for name, rep := range snap {
+		entries = append(entries, entry{name, rep})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].rep != entries[j].rep {
+			return entries[i].rep > entries[j].rep
+		}
+		return entries[i].name < entries[j].name
+	})
+	for i := 0; i < *top && i < len(entries); i++ {
+		fmt.Printf("  %2d. %-12s %8.3f\n", i+1, entries[i].name, entries[i].rep)
+	}
+}
+
+func parseBehavior(s string) protocol.Behavior {
+	switch s {
+	case "invert":
+		return protocol.Behavior{Vote: protocol.VoteInvert}
+	case "lazy":
+		return protocol.Behavior{Vote: protocol.VoteLazy}
+	case "offline":
+		return protocol.Behavior{Offline: true}
+	case "equivocate":
+		return protocol.Behavior{EquivocateIntra: true}
+	case "forge":
+		return protocol.Behavior{ForgeSemiCommit: true}
+	case "conceal":
+		return protocol.Behavior{ConcealCross: true}
+	case "censor":
+		return protocol.Behavior{CensorAll: true}
+	default:
+		fmt.Fprintln(os.Stderr, "cycsim: unknown behavior", s)
+		os.Exit(2)
+		return protocol.Behavior{}
+	}
+}

@@ -1,0 +1,55 @@
+// Command figures emits the data series behind the paper's figures as CSV.
+//
+//	go run ./cmd/figures -fig 4            # the reward map g(x)
+//	go run ./cmd/figures -fig 5            # committee failure probability
+//	go run ./cmd/figures -fig partialset   # (1/3)^λ security curve (§V-C)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cycledger/internal/analysis"
+	"cycledger/internal/reputation"
+)
+
+func main() {
+	fig := flag.String("fig", "4", "figure to emit: 4, 5, or partialset")
+	n := flag.Int64("n", 2000, "population for fig 5")
+	t := flag.Int64("t", 666, "malicious nodes for fig 5")
+	flag.Parse()
+
+	switch *fig {
+	case "4":
+		fmt.Println("x,g(x)")
+		for x := -5.0; x <= 20.0001; x += 0.25 {
+			fmt.Printf("%.2f,%.6f\n", x, reputation.G(x))
+		}
+	case "5":
+		fmt.Println("c,exact_tail,kl_bound,paper_bound_e^-c/12")
+		f := float64(*t) / float64(*n)
+		for c := int64(20); c <= 300; c += 10 {
+			exact := analysis.RatFloat(analysis.CommitteeFailureProb(*n, *t, c))
+			kl := analysis.KLTailBound(f+1.0/float64(c), c)
+			fmt.Printf("%d,%.6g,%.6g,%.6g\n", c, exact, kl, analysis.SimplifiedTailBound(c))
+		}
+	case "partialset":
+		fmt.Println("lambda,log10_failure,log10_union_m20")
+		for lam := int64(5); lam <= 60; lam += 5 {
+			p := analysis.PartialSetFailureProb(lam)
+			fmt.Printf("%d,%.3f,%.3f\n", lam, analysis.RatLog10(p), analysis.RatLog10(analysis.UnionBound(20, p)))
+		}
+	case "epochs":
+		// §II claim: Elastico's failure over consecutive epochs vs
+		// CycLedger's at the paper's parameters.
+		fmt.Println("epochs,elastico_m16,cycledger_m20_c240")
+		cyc := analysis.CycLedgerRoundFailure(2000, 666, 20, 240, 40)
+		for e := 1; e <= 12; e++ {
+			fmt.Printf("%d,%.4f,%.3g\n", e, analysis.ElasticoEpochClaim(e), analysis.EpochFailure(cyc, e))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "figures: unknown figure", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,108 @@
+// Command tables regenerates Table I and Table II of the CycLedger paper.
+//
+//	go run ./cmd/tables -table 1
+//	go run ./cmd/tables -table 2
+//
+// Table I is analytic (failure probabilities, storage, qualitative
+// columns). Table II is measured: the tool runs full protocol rounds at
+// two scales and prints per-phase, per-role traffic together with the
+// observed scaling exponent against the paper's complexity class.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"cycledger/internal/baseline"
+	"cycledger/internal/protocol"
+)
+
+func main() {
+	table := flag.Int("table", 1, "table to print (1 or 2)")
+	n := flag.Int64("n", 2000, "network size for Table I")
+	m := flag.Int64("m", 20, "committee count")
+	c := flag.Int64("c", 100, "committee size")
+	lambda := flag.Int64("lambda", 40, "partial set size")
+	flag.Parse()
+
+	switch *table {
+	case 1:
+		printTable1(*n, *m, *c, *lambda)
+	case 2:
+		printTable2()
+	default:
+		fmt.Fprintln(os.Stderr, "tables: unknown table", *table)
+		os.Exit(2)
+	}
+}
+
+func printTable1(n, m, c, lambda int64) {
+	fmt.Printf("Table I — comparison of sharding protocols (n=%d, m=%d, c=%d, λ=%d)\n\n", n, m, c, lambda)
+	for _, line := range baseline.Render(n, m, c, lambda) {
+		fmt.Println(line)
+	}
+	fmt.Println("\nReliable connection channels required:")
+	for name, ch := range baseline.ConnectionChannels(n, m, c, lambda, 60) {
+		fmt.Printf("  %-11s %d\n", name, ch)
+	}
+}
+
+func growth(a, b float64) float64 {
+	if a <= 0 || b <= 0 {
+		return math.NaN()
+	}
+	return math.Log2(b / a)
+}
+
+// table2Scale runs one round and returns the per-phase per-role sent
+// message counts.
+func table2Scale(p protocol.Params) (*protocol.RoundReport, error) {
+	e, err := protocol.NewEngine(p)
+	if err != nil {
+		return nil, err
+	}
+	reports, err := e.Run()
+	if err != nil {
+		return nil, err
+	}
+	return reports[0], nil
+}
+
+func printTable2() {
+	small := protocol.DefaultParams()
+	small.Rounds = 1
+
+	large := small
+	large.M = 2 * small.M // doubles n at fixed c
+
+	rs, err := table2Scale(small)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+	rl, err := table2Scale(large)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("Table II — measured traffic per phase and role (messages sent)\n")
+	fmt.Printf("small: m=%d c=%d (n=%d)   large: m=%d c=%d (n=%d)\n\n",
+		small.M, small.C, small.TotalNodes(), large.M, large.C, large.TotalNodes())
+	fmt.Printf("%-12s %-8s %10s %10s %7s %12s %12s %7s\n",
+		"phase", "role", "msgs_S", "msgs_L", "exp", "bytes_S", "bytes_L", "exp")
+	for _, phase := range []string{"config", "semicommit", "intra", "inter", "score", "select", "block"} {
+		for _, role := range []string{"common", "key", "referee"} {
+			ms := float64(rs.RoleTraffic[phase][role].Messages)
+			ml := float64(rl.RoleTraffic[phase][role].Messages)
+			bs := float64(rs.RoleTraffic[phase][role].Bytes)
+			bl := float64(rl.RoleTraffic[phase][role].Bytes)
+			fmt.Printf("%-12s %-8s %10.0f %10.0f %7.2f %12.0f %12.0f %7.2f\n",
+				phase, role, ms, ml, growth(ms, ml), bs, bl, growth(bs, bl))
+		}
+	}
+	fmt.Println("\nexp is the log2 growth when m doubles at fixed c: ≈1 is linear in")
+	fmt.Println("n (=mc), ≈2 is quadratic in m (the paper's O(m²)/O(mn) referee rows).")
+}

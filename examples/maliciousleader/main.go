@@ -1,0 +1,58 @@
+// Malicious leaders: corrupt every bootstrap leader seat and let them
+// equivocate during intra-committee consensus. The run demonstrates the
+// paper's headline security mechanism (§V-D): honest members extract
+// signed witnesses, impeach the leaders, the referee committee evicts
+// them, partial-set members take over, and the round still produces a
+// block. A second run with recovery disabled shows the RapidChain-style
+// failure mode for comparison.
+//
+//	go run ./examples/maliciousleader
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cycledger/internal/protocol"
+)
+
+func run(disableRecovery bool) *protocol.RoundReport {
+	params := protocol.DefaultParams()
+	params.Rounds = 1
+	params.MaliciousFrac = float64(params.M) / float64(params.TotalNodes())
+	params.CorruptLeaders = true
+	params.ByzantineBehavior = protocol.Behavior{EquivocateIntra: true, ConcealCross: true}
+	params.DisableRecovery = disableRecovery
+	params.CrossFrac = 0.5
+
+	engine, err := protocol.NewEngine(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reports, err := engine.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return reports[0]
+}
+
+func main() {
+	fmt.Println("all bootstrap leaders are byzantine (equivocate + conceal cross-shard)")
+
+	fmt.Println("\n--- with CycLedger's recovery procedure ---")
+	r := run(false)
+	fmt.Printf("included: %d transactions (%d cross-shard)\n", r.Throughput(), r.CrossIncluded)
+	fmt.Printf("recoveries: %d\n", len(r.Recoveries))
+	for _, rec := range r.Recoveries {
+		fmt.Printf("  committee %d: evicted node %d for %s, node %d took over\n",
+			rec.Committee, rec.Evicted, rec.Kind, rec.Successor)
+	}
+
+	fmt.Println("\n--- recovery disabled (RapidChain-style baseline) ---")
+	r2 := run(true)
+	fmt.Printf("included: %d transactions (%d cross-shard), recoveries: %d\n",
+		r2.Throughput(), r2.CrossIncluded, len(r2.Recoveries))
+
+	fmt.Println("\nThe recovery procedure keeps the ledger live under fully byzantine leaders;")
+	fmt.Println("without it the equivocating committees contribute nothing.")
+}

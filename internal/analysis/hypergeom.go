@@ -1,0 +1,147 @@
+// Package analysis implements the probabilistic security analysis of §V of
+// the CycLedger paper: exact hypergeometric tail bounds for committee
+// sampling (Fig. 5), the Kullback-Leibler exponential bound of Eq. (3)-(4),
+// partial-set failure probabilities (§V-C), and the per-round failure
+// formulas of Table I for CycLedger and the baseline protocols.
+//
+// All exact computations use math/big rationals so that probabilities like
+// 2.1e-9 and 8e-20 are reproduced without floating-point underflow.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// binomial returns C(n, k) as an exact big integer. C(n,k) = 0 when k < 0
+// or k > n.
+func binomial(n, k int64) *big.Int {
+	if k < 0 || k > n {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Binomial(n, k)
+}
+
+// HypergeomPMF returns the exact probability of drawing exactly x marked
+// items when sampling c items without replacement from a population of n
+// containing t marked items:
+//
+//	Pr[X = x] = C(t, x)·C(n-t, c-x) / C(n, c)
+func HypergeomPMF(n, t, c, x int64) *big.Rat {
+	if n < 0 || t < 0 || c < 0 || t > n || c > n {
+		panic(fmt.Sprintf("analysis: invalid hypergeometric parameters n=%d t=%d c=%d", n, t, c))
+	}
+	num := new(big.Int).Mul(binomial(t, x), binomial(n-t, c-x))
+	den := binomial(n, c)
+	if den.Sign() == 0 {
+		return new(big.Rat)
+	}
+	return new(big.Rat).SetFrac(num, den)
+}
+
+// HypergeomTail returns the exact upper tail Pr[X ≥ x0] of the
+// hypergeometric distribution with parameters (n, t, c). This is Eq. (3) of
+// the paper with x0 = ⌈c/2⌉: the probability that a uniformly sampled
+// committee of size c contains at least x0 of the t malicious nodes.
+func HypergeomTail(n, t, c, x0 int64) *big.Rat {
+	if x0 < 0 {
+		x0 = 0
+	}
+	total := new(big.Rat)
+	hi := c
+	if t < hi {
+		hi = t
+	}
+	// Accumulate numerators and divide once: faster and exact.
+	num := new(big.Int)
+	for x := x0; x <= hi; x++ {
+		term := new(big.Int).Mul(binomial(t, x), binomial(n-t, c-x))
+		num.Add(num, term)
+	}
+	den := binomial(n, c)
+	if den.Sign() == 0 {
+		return total
+	}
+	return total.SetFrac(num, den)
+}
+
+// CommitteeFailureProb is the probability that a single uniformly sampled
+// committee of size c is insecure, i.e. at least half its members are
+// malicious: Pr[X ≥ ⌈c/2⌉] (Eq. 3, visualised in Fig. 5).
+func CommitteeFailureProb(n, t, c int64) *big.Rat {
+	return HypergeomTail(n, t, c, (c+1)/2)
+}
+
+// RatFloat converts a big rational to float64 (may underflow to 0 for
+// extremely small values; use RatLog10 for those).
+func RatFloat(r *big.Rat) float64 {
+	f, _ := r.Float64()
+	return f
+}
+
+// RatLog10 returns log10 of a positive rational, computed via big.Float so
+// it works far below float64's underflow threshold. Returns -Inf for zero.
+func RatLog10(r *big.Rat) float64 {
+	if r.Sign() <= 0 {
+		return math.Inf(-1)
+	}
+	num := new(big.Float).SetInt(r.Num())
+	den := new(big.Float).SetInt(r.Denom())
+	q := new(big.Float).Quo(num, den)
+	mant := new(big.Float)
+	exp := q.MantExp(mant)
+	mf, _ := mant.Float64()
+	return math.Log10(mf) + float64(exp)*math.Log10(2)
+}
+
+// KLDivergence computes the binary Kullback-Leibler divergence
+// D(a‖p) = a·ln(a/p) + (1-a)·ln((1-a)/(1-p)), used in the paper's tail
+// bound Pr[X ≥ c/2] ≤ exp(-D(1/2‖f)·c) (Eq. 3).
+func KLDivergence(a, p float64) float64 {
+	if a < 0 || a > 1 || p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("analysis: invalid KL arguments a=%v p=%v", a, p))
+	}
+	var d float64
+	if a > 0 {
+		d += a * math.Log(a/p)
+	}
+	if a < 1 {
+		d += (1 - a) * math.Log((1-a)/(1-p))
+	}
+	return d
+}
+
+// KLTailBound is the exponential upper bound of Eq. (3):
+// exp(-D(1/2 ‖ f)·c) where f is the malicious fraction seen by the sampler.
+// The paper uses f < 1/3 + 1/c, yielding the e^{-c/12} simplification of
+// Eq. (4).
+func KLTailBound(f float64, c int64) float64 {
+	return math.Exp(-KLDivergence(0.5, f) * float64(c))
+}
+
+// SimplifiedTailBound is Eq. (4): e^{-c/12}, valid for t < n/3.
+func SimplifiedTailBound(c int64) float64 {
+	return math.Exp(-float64(c) / 12)
+}
+
+// PartialSetFailureProb returns (1/3)^λ as an exact rational — the
+// probability that every member of a λ-sized partial set is malicious when
+// at most one third of nodes are (§V-C). λ = 40 gives < 8×10⁻²⁰.
+func PartialSetFailureProb(lambda int64) *big.Rat {
+	if lambda < 0 {
+		panic("analysis: negative partial set size")
+	}
+	den := new(big.Int).Exp(big.NewInt(3), big.NewInt(lambda), nil)
+	return new(big.Rat).SetFrac(big.NewInt(1), den)
+}
+
+// UnionBound returns min(1, m·p) for a per-object failure probability p
+// applied across m objects.
+func UnionBound(m int64, p *big.Rat) *big.Rat {
+	r := new(big.Rat).Mul(new(big.Rat).SetInt64(m), p)
+	if r.Cmp(big.NewRat(1, 1)) > 0 {
+		return big.NewRat(1, 1)
+	}
+	return r
+}

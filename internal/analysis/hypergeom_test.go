@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestHypergeomPMFSumsToOne(t *testing.T) {
+	// The PMF over all x must sum to exactly 1.
+	const n, tt, c = 50, 17, 12
+	sum := new(big.Rat)
+	for x := int64(0); x <= c; x++ {
+		sum.Add(sum, HypergeomPMF(n, tt, c, x))
+	}
+	if sum.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Fatalf("PMF sums to %v, want 1", sum)
+	}
+}
+
+func TestHypergeomPMFKnownValue(t *testing.T) {
+	// Drawing 2 marked from population 10 with 4 marked, sample 5:
+	// C(4,2)*C(6,3)/C(10,5) = 6*20/252 = 120/252 = 10/21.
+	got := HypergeomPMF(10, 4, 5, 2)
+	want := big.NewRat(10, 21)
+	if got.Cmp(want) != 0 {
+		t.Fatalf("PMF = %v, want %v", got, want)
+	}
+}
+
+func TestHypergeomPMFOutOfRange(t *testing.T) {
+	if HypergeomPMF(10, 4, 5, 9).Sign() != 0 {
+		t.Fatal("x > c should have zero probability")
+	}
+	if HypergeomPMF(10, 4, 5, -1).Sign() != 0 {
+		t.Fatal("negative x should have zero probability")
+	}
+}
+
+func TestHypergeomTailMonotone(t *testing.T) {
+	// Pr[X ≥ x0] is non-increasing in x0.
+	prev := big.NewRat(2, 1)
+	for x0 := int64(0); x0 <= 12; x0++ {
+		cur := HypergeomTail(50, 17, 12, x0)
+		if cur.Cmp(prev) > 0 {
+			t.Fatalf("tail increased at x0=%d", x0)
+		}
+		prev = cur
+	}
+}
+
+func TestHypergeomTailFullRange(t *testing.T) {
+	if HypergeomTail(50, 17, 12, 0).Cmp(big.NewRat(1, 1)) != 0 {
+		t.Fatal("Pr[X >= 0] must be 1")
+	}
+}
+
+func TestCommitteeFailurePaperSpotValue(t *testing.T) {
+	// Fig. 5 spot check: population 2000, 666 malicious, c = 240. The
+	// paper quotes "< 2.1e-9", which matches its simplified bound
+	// e^{-c/12} = e^{-20} ≈ 2.06e-9. The *exact* hypergeometric tail
+	// Pr[X ≥ 120] is ≈ 8.5e-9 — about 4× the simplified bound, i.e. the
+	// paper's Eq. (4) is an approximation rather than a strict upper
+	// bound at these parameters. We reproduce both numbers.
+	if s := SimplifiedTailBound(240); s <= 2.0e-9 || s >= 2.1e-9 {
+		t.Fatalf("e^{-20} = %.4g, want the paper's 2.06e-9", s)
+	}
+	f := RatFloat(CommitteeFailureProb(2000, 666, 240))
+	if f <= 0 {
+		t.Fatal("failure probability underflowed to zero; use exact arithmetic")
+	}
+	if f < 2e-9 || f > 1e-8 {
+		t.Fatalf("exact failure probability %.3g outside the expected ~8.5e-9 window", f)
+	}
+}
+
+func TestCommitteeFailureUnionBoundPaperValue(t *testing.T) {
+	// Paper §V-B: union bound over m = 20 committees below 5e-8. This is
+	// again the simplified bound (20·e^{-20} ≈ 4.1e-8); the exact union
+	// bound is ≈ 1.7e-7, within one order of magnitude.
+	if u := 20 * SimplifiedTailBound(240); u >= 5e-8 {
+		t.Fatalf("simplified union bound %.3g, paper claims < 5e-8", u)
+	}
+	exact := RatFloat(UnionBound(20, CommitteeFailureProb(2000, 666, 240)))
+	if exact < 5e-8 || exact > 5e-7 {
+		t.Fatalf("exact union bound %.3g outside the expected ~1.7e-7 window", exact)
+	}
+}
+
+func TestCommitteeFailureDecreasesWithC(t *testing.T) {
+	prev := 1.1
+	for _, c := range []int64{40, 80, 120, 160, 200, 240} {
+		f := RatFloat(CommitteeFailureProb(2000, 666, c))
+		if f >= prev {
+			t.Fatalf("failure probability not decreasing at c=%d: %g >= %g", c, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestKLTailBoundDominatesExact(t *testing.T) {
+	// The KL exponential bound of Eq. (3) must upper-bound the exact tail.
+	const n, tt = 2000, 666
+	f := float64(tt)/float64(n) + 0 // sampling fraction
+	for _, c := range []int64{50, 100, 150, 200} {
+		exact := RatFloat(CommitteeFailureProb(n, tt, c))
+		bound := KLTailBound(f+1.0/float64(c), c)
+		if exact > bound {
+			t.Fatalf("c=%d: exact %g exceeds KL bound %g", c, exact, bound)
+		}
+	}
+}
+
+func TestSimplifiedBoundSharperThanKL(t *testing.T) {
+	// At f = 1/3 + 1/c, D(1/2‖f) ≈ 0.047..0.059 < 1/12, so the paper's
+	// "simplified" e^{-c/12} is actually *smaller* (more optimistic) than
+	// the rigorous KL bound e^{-D(1/2‖f)c}. We pin down this relationship:
+	// the KL bound dominates the exact tail (previous test) while the
+	// e^{-c/12} simplification dips below it.
+	for _, c := range []int64{60, 120, 240} {
+		f := 1.0/3 + 1.0/float64(c)
+		if KLTailBound(f, c) < SimplifiedTailBound(c) {
+			t.Fatalf("c=%d: expected KL bound above e^{-c/12}", c)
+		}
+	}
+}
+
+func TestKLDivergenceProperties(t *testing.T) {
+	if d := KLDivergence(0.5, 0.5); math.Abs(d) > 1e-12 {
+		t.Fatalf("D(p||p) = %g, want 0", d)
+	}
+	if KLDivergence(0.5, 0.3) <= 0 {
+		t.Fatal("KL divergence must be positive for distinct distributions")
+	}
+}
+
+func TestKLDivergencePanicsOnBadInput(t *testing.T) {
+	for _, args := range [][2]float64{{-0.1, 0.5}, {0.5, 0}, {0.5, 1}, {1.5, 0.5}} {
+		func() {
+			defer func() { recover() }()
+			KLDivergence(args[0], args[1])
+			t.Fatalf("KLDivergence(%v, %v) did not panic", args[0], args[1])
+		}()
+	}
+}
+
+func TestPartialSetFailurePaperValues(t *testing.T) {
+	// §V-C claims (1/3)^40 < 8e-20. Exactly, (1/3)^40 = 8.225e-20 — the
+	// paper's constant is a slight rounding slip; the value is < 8.3e-20
+	// and the conclusion (negligible) is unaffected.
+	p := PartialSetFailureProb(40)
+	if lg := RatLog10(p); lg >= math.Log10(8.3e-20) || lg <= math.Log10(8.1e-20) {
+		t.Fatalf("(1/3)^40 has log10 %.4f, want ≈ log10(8.225e-20)", lg)
+	}
+	// Union over 20 committees < 2e-18.
+	u := UnionBound(20, p)
+	if lg := RatLog10(u); lg >= math.Log10(2e-18) {
+		t.Fatalf("20·(1/3)^40 has log10 %.2f, want below %.2f", lg, math.Log10(2e-18))
+	}
+}
+
+func TestPartialSetFailureMonotone(t *testing.T) {
+	prev := big.NewRat(2, 1)
+	for lam := int64(1); lam <= 50; lam++ {
+		cur := PartialSetFailureProb(lam)
+		if cur.Cmp(prev) >= 0 {
+			t.Fatalf("partial-set failure not strictly decreasing at λ=%d", lam)
+		}
+		prev = cur
+	}
+}
+
+func TestUnionBoundClamped(t *testing.T) {
+	if UnionBound(1000, big.NewRat(1, 2)).Cmp(big.NewRat(1, 1)) != 0 {
+		t.Fatal("union bound not clamped to 1")
+	}
+}
+
+func TestRatLog10(t *testing.T) {
+	if got := RatLog10(big.NewRat(1, 1000)); math.Abs(got+3) > 1e-9 {
+		t.Fatalf("log10(1/1000) = %g, want -3", got)
+	}
+	if !math.IsInf(RatLog10(new(big.Rat)), -1) {
+		t.Fatal("log10(0) should be -Inf")
+	}
+	// Works far below float64 underflow.
+	tiny := PartialSetFailureProb(1000) // (1/3)^1000 ~ 10^-477
+	if lg := RatLog10(tiny); lg > -400 || math.IsInf(lg, -1) {
+		t.Fatalf("log10((1/3)^1000) = %g, want about -477", lg)
+	}
+}
+
+func TestTailBetweenZeroAndOneProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		n := int64(seed%500) + 10
+		tt := n / 3
+		c := int64(seed%100)%n + 1
+		p := CommitteeFailureProb(n, tt, c)
+		return p.Sign() >= 0 && p.Cmp(big.NewRat(1, 1)) <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

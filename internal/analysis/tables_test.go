@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFailureModelsOrderingAtPaperParams(t *testing.T) {
+	// With n=2000, m=20, c=100, λ=40: CycLedger and RapidChain (1/3
+	// resiliency, e^{-c/12}) must beat Elastico/OmniLedger (e^{-c/40});
+	// CycLedger must be at least as good as RapidChain because (1/3)^40
+	// is far below RapidChain's (1/2)^27 reference-committee term.
+	const m, c, lam = 20, 100, 40
+	probs := map[string]float64{}
+	for _, pm := range FailureModels() {
+		probs[pm.Name] = pm.Prob(m, c, lam)
+	}
+	if probs["CycLedger"] > probs["RapidChain"] {
+		t.Fatalf("CycLedger %.3g worse than RapidChain %.3g", probs["CycLedger"], probs["RapidChain"])
+	}
+	if probs["RapidChain"] >= probs["Elastico"] {
+		t.Fatalf("RapidChain %.3g not better than Elastico %.3g", probs["RapidChain"], probs["Elastico"])
+	}
+	if probs["Elastico"] != probs["OmniLedger"] {
+		t.Fatal("Elastico and OmniLedger share the same asymptotic model")
+	}
+}
+
+func TestFailureModelsClamped(t *testing.T) {
+	for _, pm := range FailureModels() {
+		p := pm.Prob(1e6, 1, 1)
+		if p < 0 || p > 1 {
+			t.Fatalf("%s probability %g outside [0,1]", pm.Name, p)
+		}
+	}
+}
+
+func TestResiliencyTable(t *testing.T) {
+	r := Resiliency()
+	if r["CycLedger"] != 1.0/3 || r["RapidChain"] != 1.0/3 {
+		t.Fatal("1/3-resilient protocols wrong")
+	}
+	if r["Elastico"] != 1.0/4 || r["OmniLedger"] != 1.0/4 {
+		t.Fatal("1/4-resilient protocols wrong")
+	}
+}
+
+func TestStoragePerNodeShapes(t *testing.T) {
+	// At n=2000, m=20, c=100: Elastico stores O(n), far above the sharded
+	// protocols; CycLedger stores m²/n + c which is close to RapidChain's c.
+	s := StoragePerNode(2000, 20, 100)
+	if s["Elastico"] <= s["CycLedger"]*5 {
+		t.Fatal("Elastico storage should dwarf CycLedger's")
+	}
+	wantCyc := 400.0/2000 + 100
+	if math.Abs(s["CycLedger"]-wantCyc) > 1e-9 {
+		t.Fatalf("CycLedger storage = %g, want %g", s["CycLedger"], wantCyc)
+	}
+	if s["RapidChain"] != 100 {
+		t.Fatalf("RapidChain storage = %g, want c", s["RapidChain"])
+	}
+}
+
+func TestElasticoEpochClaim(t *testing.T) {
+	// §II: "when there are 16 shards, the failure probability is 97% over
+	// only 6 epochs". The exact PBFT-threshold hypergeometric model gives
+	// ≈ 0.91 — the same qualitative collapse; the exact constant depends
+	// on Elastico's precise parameters (see ElasticoEpochClaim).
+	got := ElasticoEpochClaim(6)
+	if got < 0.85 || got > 1.0 {
+		t.Fatalf("Elastico 6-epoch failure = %.3f, want ≈ 0.9-0.97", got)
+	}
+	// CycLedger at the paper's parameters stays negligible over far more
+	// epochs.
+	cyc := EpochFailure(CycLedgerRoundFailure(2000, 666, 20, 240, 40), 1000)
+	if cyc > 1e-3 {
+		t.Fatalf("CycLedger 1000-epoch failure = %.3g, want negligible", cyc)
+	}
+}
+
+func TestEpochFailureProperties(t *testing.T) {
+	if EpochFailure(0, 10) != 0 || EpochFailure(1, 1) != 1 {
+		t.Fatal("boundary values wrong")
+	}
+	// Monotone in epochs.
+	prev := 0.0
+	for e := 1; e <= 20; e++ {
+		f := EpochFailure(0.1, e)
+		if f <= prev {
+			t.Fatalf("not monotone at %d epochs", e)
+		}
+		prev = f
+	}
+	if math.Abs(EpochFailure(0.5, 2)-0.75) > 1e-12 {
+		t.Fatal("EpochFailure(0.5, 2) != 0.75")
+	}
+}
+
+func TestCycLedgerRoundFailureTracksFormula(t *testing.T) {
+	// The Table I formula m(e^{-c/12}+(1/3)^λ) approximates — but does not
+	// strictly upper-bound — the exact hypergeometric round failure (see
+	// hypergeom_test.go). At the paper's parameters they agree within a
+	// factor of 5.
+	const n, tt, m, c, lam = 2000, 666, 20, 100, 40
+	exact := CycLedgerRoundFailure(n, tt, m, c, lam)
+	formula := FailureModels()[3].Prob(m, c, lam)
+	if exact <= 0 {
+		t.Fatal("exact failure should be positive at these parameters")
+	}
+	ratio := exact / formula
+	if ratio < 1.0/5 || ratio > 5 {
+		t.Fatalf("exact %.3g vs formula %.3g: ratio %.2f outside [0.2, 5]", exact, formula, ratio)
+	}
+}

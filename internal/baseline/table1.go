@@ -1,0 +1,116 @@
+// Package baseline encodes the comparison protocols of Table I — Elastico,
+// OmniLedger, RapidChain — alongside CycLedger: their resiliency,
+// complexity classes, storage, per-round failure probability, and the
+// qualitative columns (decentralization, leader-fault efficiency,
+// incentives, connection burden). The numeric columns delegate to
+// internal/analysis; the executable RapidChain-style behaviour (no leader
+// recovery) lives in internal/protocol as the DisableRecovery ablation.
+package baseline
+
+import (
+	"fmt"
+
+	"cycledger/internal/analysis"
+)
+
+// Row is one protocol's Table I entry.
+type Row struct {
+	Name           string
+	Resiliency     string  // t < n/4 or t < n/3
+	ResiliencyFrac float64 // numeric tolerance
+	Complexity     string  // communication complexity class
+	Storage        string  // storage complexity class
+	FailProbExpr   string  // the paper's failure-probability expression
+	// FailProb evaluates the expression at (m, c, λ).
+	FailProb func(m, c, lambda int64) float64
+	// StorageItems evaluates storage at (n, m, c).
+	StorageItems func(n, m, c int64) float64
+
+	Decentralization string
+	LeaderFaultOK    bool // "High Efficiency w.r.t Dishonest Leaders"
+	Incentives       bool
+	ConnectionBurden string // heavy / light
+}
+
+// TableI returns the four protocol rows in paper order.
+func TableI() []Row {
+	models := analysis.FailureModels()
+	find := func(name string) func(m, c, lambda int64) float64 {
+		for _, pm := range models {
+			if pm.Name == name {
+				return pm.Prob
+			}
+		}
+		panic("baseline: unknown model " + name)
+	}
+	storage := func(name string) func(n, m, c int64) float64 {
+		return func(n, m, c int64) float64 {
+			return analysis.StoragePerNode(n, m, c)[name]
+		}
+	}
+	return []Row{
+		{
+			Name: "Elastico", Resiliency: "t < n/4", ResiliencyFrac: 0.25,
+			Complexity: "Ω(n)", Storage: "O(n)",
+			FailProbExpr: "Ω(m·e^{-c/40})",
+			FailProb:     find("Elastico"), StorageItems: storage("Elastico"),
+			Decentralization: "no always-honest party",
+			LeaderFaultOK:    false, Incentives: false, ConnectionBurden: "heavy",
+		},
+		{
+			Name: "OmniLedger", Resiliency: "t < n/4", ResiliencyFrac: 0.25,
+			Complexity: "O(n)", Storage: "O(c + log m)",
+			FailProbExpr: "O(m·e^{-c/40})",
+			FailProb:     find("OmniLedger"), StorageItems: storage("OmniLedger"),
+			Decentralization: "an honest client",
+			LeaderFaultOK:    false, Incentives: false, ConnectionBurden: "heavy",
+		},
+		{
+			Name: "RapidChain", Resiliency: "t < n/3", ResiliencyFrac: 1.0 / 3,
+			Complexity: "O(n)", Storage: "O(c)",
+			FailProbExpr: "m·e^{-c/12} + (1/2)^27",
+			FailProb:     find("RapidChain"), StorageItems: storage("RapidChain"),
+			Decentralization: "an honest reference committee",
+			LeaderFaultOK:    false, Incentives: false, ConnectionBurden: "heavy",
+		},
+		{
+			Name: "CycLedger", Resiliency: "t < n/3", ResiliencyFrac: 1.0 / 3,
+			Complexity: "O(n)", Storage: "O(m²/n + c)",
+			FailProbExpr: "m(e^{-c/12} + (1/3)^λ)",
+			FailProb:     find("CycLedger"), StorageItems: storage("CycLedger"),
+			Decentralization: "no always-honest party",
+			LeaderFaultOK:    true, Incentives: true, ConnectionBurden: "light",
+		},
+	}
+}
+
+// Render formats the rows at the given parameters, one line per protocol.
+func Render(n, m, c, lambda int64) []string {
+	out := make([]string, 0, 4)
+	for _, row := range TableI() {
+		out = append(out, fmt.Sprintf(
+			"%-11s resiliency=%-8s complexity=%-6s storage=%-13s fail=%9.3g storage(items)=%8.1f leaderFaultOK=%-5v incentives=%-5v connection=%s",
+			row.Name, row.Resiliency, row.Complexity, row.Storage,
+			row.FailProb(m, c, lambda), row.StorageItems(n, m, c),
+			row.LeaderFaultOK, row.Incentives, row.ConnectionBurden,
+		))
+	}
+	return out
+}
+
+// ConnectionChannels estimates the number of reliable channels each model
+// demands (the "Burden on Connection" column): previous protocols require
+// good connectivity among all honest nodes (≈ n²/2 channels); CycLedger
+// needs intra-committee cliques, a key-member clique, and key-member links
+// to C_R (§III-B).
+func ConnectionChannels(n, m, c, lambda, refSize int64) map[string]int64 {
+	full := n * (n - 1) / 2
+	key := m * (1 + lambda)
+	cyc := m*(c*(c-1)/2) + key*(key-1)/2 + key*refSize + refSize*(refSize-1)/2
+	return map[string]int64{
+		"Elastico":   full,
+		"OmniLedger": full,
+		"RapidChain": full,
+		"CycLedger":  cyc,
+	}
+}

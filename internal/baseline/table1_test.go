@@ -1,0 +1,87 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableIStructure(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 4 {
+		t.Fatalf("Table I has %d rows, want 4", len(rows))
+	}
+	wantOrder := []string{"Elastico", "OmniLedger", "RapidChain", "CycLedger"}
+	for i, w := range wantOrder {
+		if rows[i].Name != w {
+			t.Fatalf("row %d = %s, want %s", i, rows[i].Name, w)
+		}
+	}
+}
+
+func TestTableIQualitativeColumns(t *testing.T) {
+	for _, row := range TableI() {
+		isCyc := row.Name == "CycLedger"
+		if row.LeaderFaultOK != isCyc {
+			t.Errorf("%s leader-fault efficiency = %v", row.Name, row.LeaderFaultOK)
+		}
+		if row.Incentives != isCyc {
+			t.Errorf("%s incentives = %v", row.Name, row.Incentives)
+		}
+		wantBurden := "heavy"
+		if isCyc {
+			wantBurden = "light"
+		}
+		if row.ConnectionBurden != wantBurden {
+			t.Errorf("%s connection burden = %s", row.Name, row.ConnectionBurden)
+		}
+	}
+}
+
+func TestTableIResiliency(t *testing.T) {
+	rows := TableI()
+	if rows[0].ResiliencyFrac != 0.25 || rows[1].ResiliencyFrac != 0.25 {
+		t.Fatal("Elastico/OmniLedger resiliency wrong")
+	}
+	if rows[2].ResiliencyFrac != 1.0/3 || rows[3].ResiliencyFrac != 1.0/3 {
+		t.Fatal("RapidChain/CycLedger resiliency wrong")
+	}
+}
+
+func TestTableIFailureOrdering(t *testing.T) {
+	// At the paper's parameters CycLedger's failure probability must be
+	// the lowest of the four.
+	const m, c, lam = 20, 100, 40
+	rows := TableI()
+	cyc := rows[3].FailProb(m, c, lam)
+	for _, row := range rows[:3] {
+		if cyc > row.FailProb(m, c, lam) {
+			t.Fatalf("CycLedger %.3g worse than %s %.3g", cyc, row.Name, row.FailProb(m, c, lam))
+		}
+	}
+}
+
+func TestRenderIncludesEveryProtocol(t *testing.T) {
+	lines := Render(2000, 20, 100, 40)
+	if len(lines) != 4 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	joined := strings.Join(lines, "\n")
+	for _, name := range []string{"Elastico", "OmniLedger", "RapidChain", "CycLedger"} {
+		if !strings.Contains(joined, name) {
+			t.Fatalf("missing %s in render", name)
+		}
+	}
+}
+
+func TestConnectionChannelsLight(t *testing.T) {
+	// The paper's "light" claim: CycLedger needs far fewer reliable
+	// channels than full honest-node connectivity.
+	ch := ConnectionChannels(2000, 20, 100, 40, 60)
+	if ch["CycLedger"] >= ch["RapidChain"]/2 {
+		t.Fatalf("CycLedger channels %d not clearly below full-mesh %d",
+			ch["CycLedger"], ch["RapidChain"])
+	}
+	if ch["Elastico"] != 2000*1999/2 {
+		t.Fatalf("full mesh count wrong: %d", ch["Elastico"])
+	}
+}

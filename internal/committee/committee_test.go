@@ -1,0 +1,230 @@
+package committee
+
+import (
+	"math/rand"
+	"testing"
+
+	"cycledger/internal/crypto"
+	"cycledger/internal/simnet"
+)
+
+func TestSortitionVerifies(t *testing.T) {
+	kp := crypto.GenerateKeyPair(rand.New(rand.NewSource(1)))
+	r := crypto.HString("rand")
+	res := Sortition(kp, 3, r, 16)
+	if res.CommitteeID >= 16 {
+		t.Fatalf("committee id %d out of range", res.CommitteeID)
+	}
+	if err := VerifySortition(kp.PK, 3, r, 16, res.CommitteeID, res.Out); err != nil {
+		t.Fatalf("honest sortition rejected: %v", err)
+	}
+}
+
+func TestSortitionWrongClaimRejected(t *testing.T) {
+	kp := crypto.GenerateKeyPair(rand.New(rand.NewSource(2)))
+	r := crypto.HString("rand")
+	res := Sortition(kp, 3, r, 16)
+	wrong := (res.CommitteeID + 1) % 16
+	if err := VerifySortition(kp.PK, 3, r, 16, wrong, res.Out); err == nil {
+		t.Fatal("wrong committee claim accepted")
+	}
+}
+
+func TestSortitionBoundToContext(t *testing.T) {
+	kp := crypto.GenerateKeyPair(rand.New(rand.NewSource(3)))
+	r := crypto.HString("rand")
+	res := Sortition(kp, 3, r, 16)
+	if err := VerifySortition(kp.PK, 4, r, 16, res.CommitteeID, res.Out); err == nil {
+		t.Fatal("proof replayed across rounds")
+	}
+	if err := VerifySortition(kp.PK, 3, crypto.HString("other"), 16, res.CommitteeID, res.Out); err == nil {
+		t.Fatal("proof replayed across randomness")
+	}
+}
+
+func TestSortitionRoughlyUniform(t *testing.T) {
+	const m, nodes = 4, 2000
+	rng := rand.New(rand.NewSource(4))
+	r := crypto.HString("rand")
+	counts := make([]int, m)
+	for i := 0; i < nodes; i++ {
+		kp := crypto.GenerateKeyPair(rng)
+		counts[Sortition(kp, 1, r, m).CommitteeID]++
+	}
+	want := float64(nodes) / m
+	for i, c := range counts {
+		if float64(c) < want*0.8 || float64(c) > want*1.2 {
+			t.Fatalf("committee %d has %d nodes, want about %.0f", i, c, want)
+		}
+	}
+}
+
+func record(rng *rand.Rand, node simnet.NodeID, round uint64, r crypto.Digest, m uint64) (MemberRecord, crypto.KeyPair, uint64) {
+	kp := crypto.GenerateKeyPair(rng)
+	res := Sortition(kp, round, r, m)
+	return MemberRecord{Node: node, PK: kp.PK, Hash: res.Out.Hash, Proof: res.Out.Proof}, kp, res.CommitteeID
+}
+
+func TestDirectoryCanonicalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	r := crypto.HString("rand")
+	a, _, _ := record(rng, 1, 1, r, 4)
+	b, _, _ := record(rng, 2, 1, r, 4)
+	c, _, _ := record(rng, 3, 1, r, 4)
+
+	d1 := NewDirectory()
+	d1.Add(a)
+	d1.Add(b)
+	d1.Add(c)
+	d2 := NewDirectory()
+	d2.Add(c)
+	d2.Add(a)
+	d2.Add(b)
+	if d1.SemiCommitment() != d2.SemiCommitment() {
+		t.Fatal("semi-commitment depends on insertion order")
+	}
+	if d1.Len() != 3 || !d1.Contains(2) || d1.Contains(9) {
+		t.Fatal("directory bookkeeping broken")
+	}
+	nodes := d1.Nodes()
+	if nodes[0] != 1 || nodes[1] != 2 || nodes[2] != 3 {
+		t.Fatalf("nodes = %v", nodes)
+	}
+}
+
+func TestSemiCommitmentBinding(t *testing.T) {
+	// Any change to the member list changes H(S) — the computational
+	// binding of Lemma 1, exercised by mutation.
+	rng := rand.New(rand.NewSource(6))
+	r := crypto.HString("rand")
+	d := NewDirectory()
+	var recs []MemberRecord
+	for i := simnet.NodeID(1); i <= 5; i++ {
+		rec, _, _ := record(rng, i, 1, r, 4)
+		recs = append(recs, rec)
+		d.Add(rec)
+	}
+	base := d.SemiCommitment()
+
+	// Removing a member.
+	d2 := NewDirectory()
+	for _, rec := range recs[:4] {
+		d2.Add(rec)
+	}
+	if d2.SemiCommitment() == base {
+		t.Fatal("dropping a member kept the commitment")
+	}
+	// Substituting a key.
+	d3 := d.Clone()
+	alt, _, _ := record(rng, 3, 1, r, 4)
+	d3.Add(alt)
+	if d3.SemiCommitment() == base {
+		t.Fatal("substituting a key kept the commitment")
+	}
+	// Clone preserves the commitment.
+	if d.Clone().SemiCommitment() != base {
+		t.Fatal("clone changed the commitment")
+	}
+}
+
+func TestDirectoryMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := crypto.HString("rand")
+	a, _, _ := record(rng, 1, 1, r, 4)
+	b, _, _ := record(rng, 2, 1, r, 4)
+	d1 := NewDirectory()
+	d1.Add(a)
+	d2 := NewDirectory()
+	d2.Add(b)
+	d1.Merge(d2)
+	if d1.Len() != 2 {
+		t.Fatalf("merged len = %d", d1.Len())
+	}
+}
+
+// configHarness runs Algorithm 2 for one committee over a simnet.
+func runConfig(t *testing.T, nMembers int, seed int64) (map[simnet.NodeID]*ConfigNode, *simnet.Network) {
+	t.Helper()
+	const m = 1 // single committee context; VRF proofs still verified
+	rng := rand.New(rand.NewSource(seed))
+	r := crypto.HString("round-rand")
+	net := simnet.New(simnet.DefaultLatency(), seed)
+
+	// Nodes 0,1 are key members (leader + one partial-set member).
+	var keyRecs []MemberRecord
+	recs := make([]MemberRecord, nMembers)
+	for i := 0; i < nMembers; i++ {
+		rec, _, _ := record(rng, simnet.NodeID(i), 1, r, m)
+		recs[i] = rec
+		if i < 2 {
+			keyRecs = append(keyRecs, rec)
+		}
+	}
+	nodes := make(map[simnet.NodeID]*ConfigNode)
+	for i := 0; i < nMembers; i++ {
+		cn := NewConfigNode(1, r, m, recs[i], i < 2, keyRecs)
+		nodes[recs[i].Node] = cn
+		id := recs[i].Node
+		net.Register(id, func(ctx *simnet.Context, msg simnet.Message) {
+			nodes[id].Handle(ctx, msg)
+		})
+	}
+	for _, cn := range nodes {
+		cn := cn
+		net.After(cn.Self.Node, 1, func(ctx *simnet.Context) { cn.Start(ctx) })
+	}
+	net.RunUntilIdle()
+	return nodes, net
+}
+
+func TestConfigAllMembersDiscovered(t *testing.T) {
+	const n = 12
+	nodes, _ := runConfig(t, n, 8)
+	// Key members must know everyone (they receive every CONFIG).
+	for id := simnet.NodeID(0); id < 2; id++ {
+		if got := nodes[id].S.Len(); got != n {
+			t.Fatalf("key member %d knows %d/%d members", id, got, n)
+		}
+	}
+	// Non-key members must know at least a majority (they learn the list
+	// at join time plus all MEMBER announcements that follow).
+	for id := simnet.NodeID(2); id < n; id++ {
+		if got := nodes[id].S.Len(); got < n/2 {
+			t.Fatalf("member %d knows only %d/%d members", id, got, n)
+		}
+	}
+}
+
+func TestConfigRejectsForgedProof(t *testing.T) {
+	const m = 1
+	rng := rand.New(rand.NewSource(9))
+	r := crypto.HString("round-rand")
+	keyRec, _, _ := record(rng, 0, 1, r, m)
+	cn := NewConfigNode(1, r, m, keyRec, true, []MemberRecord{keyRec})
+
+	// An invalid record: proof for a different round.
+	kp := crypto.GenerateKeyPair(rng)
+	res := Sortition(kp, 99, r, m)
+	forged := MemberRecord{Node: 7, PK: kp.PK, Hash: res.Out.Hash, Proof: res.Out.Proof}
+
+	net := simnet.New(simnet.DefaultLatency(), 9)
+	net.Register(0, func(ctx *simnet.Context, msg simnet.Message) { cn.Handle(ctx, msg) })
+	net.Send(7, 0, TagConfig, JoinRequest{Rec: forged}, 10)
+	net.RunUntilIdle()
+	if cn.S.Contains(7) {
+		t.Fatal("forged join certificate accepted")
+	}
+}
+
+func TestConfigComplexityScalesWithC(t *testing.T) {
+	// Algorithm 2 exchanges O(c) messages per common member and O(c²)
+	// overall; doubling c should roughly quadruple total messages.
+	_, netSmall := runConfig(t, 10, 10)
+	_, netLarge := runConfig(t, 20, 10)
+	small := float64(netSmall.Metrics().Total().Messages)
+	large := float64(netLarge.Metrics().Total().Messages)
+	ratio := large / small
+	if ratio < 2.5 || ratio > 6.5 {
+		t.Fatalf("message ratio %.1f for doubled committee, want ≈ 4", ratio)
+	}
+}

@@ -1,0 +1,142 @@
+// Package committee implements CycLedger's committee machinery: the
+// cryptographic sortition of Algorithm 1, the member directory with its
+// canonical encoding (the input of the semi-commitment H(S)), and the
+// message-driven committee-configuration protocol of Algorithm 2.
+package committee
+
+import (
+	"fmt"
+
+	"cycledger/internal/crypto"
+	"cycledger/internal/simnet"
+)
+
+// SortitionResult is the outcome of Algorithm 1 for one node.
+type SortitionResult struct {
+	CommitteeID uint64
+	Out         crypto.VRFOutput
+}
+
+// Sortition is Algorithm 1: the VRF over COMMON_MEMBER ‖ r ‖ R_r assigns
+// the node to committee hash mod m and yields the proof π.
+func Sortition(kp crypto.KeyPair, round uint64, randomness crypto.Digest, m uint64) SortitionResult {
+	if m == 0 {
+		panic("committee: zero committees")
+	}
+	out := crypto.VRFProve(kp.SK, crypto.SortitionInput(round, randomness))
+	return SortitionResult{CommitteeID: out.Hash.Mod(m), Out: out}
+}
+
+// VerifySortition checks a claimed committee membership: the VRF proof must
+// verify and the committee ID must equal hash mod m.
+func VerifySortition(pk crypto.PublicKey, round uint64, randomness crypto.Digest, m uint64, claimed uint64, out crypto.VRFOutput) error {
+	if m == 0 {
+		return fmt.Errorf("committee: zero committees")
+	}
+	if err := crypto.VRFVerify(pk, crypto.SortitionInput(round, randomness), out); err != nil {
+		return err
+	}
+	if got := out.Hash.Mod(m); got != claimed {
+		return fmt.Errorf("committee: claimed committee %d, proof yields %d", claimed, got)
+	}
+	return nil
+}
+
+// MemberRecord is one entry of the member list S: the node's address
+// (simulator node ID), public key, and sortition certificate.
+type MemberRecord struct {
+	Node  simnet.NodeID
+	PK    crypto.PublicKey
+	Hash  crypto.Digest
+	Proof []byte
+}
+
+// Directory is a member list S. Records are kept sorted by node ID so the
+// canonical encoding — and hence the semi-commitment — is independent of
+// arrival order.
+type Directory struct {
+	records map[simnet.NodeID]MemberRecord
+}
+
+// NewDirectory returns an empty member list.
+func NewDirectory() *Directory {
+	return &Directory{records: make(map[simnet.NodeID]MemberRecord)}
+}
+
+// Add inserts or overwrites a record.
+func (d *Directory) Add(rec MemberRecord) {
+	d.records[rec.Node] = rec
+}
+
+// Merge unions another directory into this one.
+func (d *Directory) Merge(other *Directory) {
+	for _, rec := range other.records {
+		d.Add(rec)
+	}
+}
+
+// Contains reports membership.
+func (d *Directory) Contains(id simnet.NodeID) bool {
+	_, ok := d.records[id]
+	return ok
+}
+
+// Len returns the member count.
+func (d *Directory) Len() int { return len(d.records) }
+
+// Nodes returns the member node IDs in sorted order.
+func (d *Directory) Nodes() []simnet.NodeID {
+	out := make([]simnet.NodeID, 0, len(d.records))
+	for id := range d.records {
+		out = append(out, id)
+	}
+	simnet.SortNodeIDs(out)
+	return out
+}
+
+// Records returns the records sorted by node ID.
+func (d *Directory) Records() []MemberRecord {
+	nodes := d.Nodes()
+	out := make([]MemberRecord, len(nodes))
+	for i, id := range nodes {
+		out[i] = d.records[id]
+	}
+	return out
+}
+
+// Clone deep-copies the directory.
+func (d *Directory) Clone() *Directory {
+	c := NewDirectory()
+	for _, rec := range d.records {
+		c.Add(rec)
+	}
+	return c
+}
+
+// canonical returns the injective byte encoding of the sorted member list.
+func (d *Directory) canonical() [][]byte {
+	recs := d.Records()
+	parts := make([][]byte, 0, 2*len(recs))
+	for _, rec := range recs {
+		var nb [4]byte
+		nb[0] = byte(rec.Node >> 24)
+		nb[1] = byte(rec.Node >> 16)
+		nb[2] = byte(rec.Node >> 8)
+		nb[3] = byte(rec.Node)
+		parts = append(parts, nb[:], rec.PK)
+	}
+	return parts
+}
+
+// SemiCommitment returns H(S) over the canonical encoding — the
+// committee's semi-commitment of §IV-B. Computational binding is inherited
+// from the collision resistance of H (Lemma 1).
+func (d *Directory) SemiCommitment() crypto.Digest {
+	return crypto.H(append([][]byte{[]byte("cycledger/semicom/v1")}, d.canonical()...)...)
+}
+
+// WireSize approximates the member list's size in bytes for traffic
+// accounting (node id + public key per record).
+func (d *Directory) WireSize() int {
+	return len(d.records) * (4 + 32)
+}

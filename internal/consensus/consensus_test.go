@@ -1,0 +1,373 @@
+package consensus
+
+import (
+	"math/rand"
+	"testing"
+
+	"cycledger/internal/crypto"
+	"cycledger/internal/simnet"
+)
+
+// harness wires a committee of Protocol endpoints over a simnet.
+type harness struct {
+	net     *simnet.Network
+	nodes   map[simnet.NodeID]*Protocol
+	keys    map[simnet.NodeID]crypto.KeyPair
+	members []simnet.NodeID
+	leader  simnet.NodeID
+
+	decided  map[simnet.NodeID]*Result
+	accepted map[simnet.NodeID]crypto.Digest
+	witness  map[simnet.NodeID]*Witness
+}
+
+func newHarness(t *testing.T, size int, scheme SignatureScheme, seed int64) *harness {
+	t.Helper()
+	h := &harness{
+		net:      simnet.New(simnet.DefaultLatency(), seed),
+		nodes:    make(map[simnet.NodeID]*Protocol),
+		keys:     make(map[simnet.NodeID]crypto.KeyPair),
+		decided:  make(map[simnet.NodeID]*Result),
+		accepted: make(map[simnet.NodeID]crypto.Digest),
+		witness:  make(map[simnet.NodeID]*Witness),
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < size; i++ {
+		id := simnet.NodeID(i)
+		h.members = append(h.members, id)
+		h.keys[id] = crypto.GenerateKeyPair(rng)
+	}
+	h.leader = h.members[0]
+	for _, id := range h.members {
+		id := id
+		p := &Protocol{
+			Round:     1,
+			Self:      id,
+			Leader:    h.leader,
+			Committee: h.members,
+			Keys:      h.keys[id],
+			PKOf:      func(n simnet.NodeID) crypto.PublicKey { return h.keys[n].PK },
+			Scheme:    scheme,
+			OnDecide: func(ctx *simnet.Context, res Result) {
+				r := res
+				h.decided[id] = &r
+			},
+			OnAccept: func(ctx *simnet.Context, sn uint64, d crypto.Digest, payload any) {
+				h.accepted[id] = d
+			},
+			OnEquivocation: func(ctx *simnet.Context, w Witness) {
+				ww := w
+				h.witness[id] = &ww
+			},
+		}
+		h.nodes[id] = p
+		h.net.Register(id, func(ctx *simnet.Context, msg simnet.Message) {
+			p.Handle(ctx, msg)
+		})
+	}
+	return h
+}
+
+func (h *harness) propose(payload string) crypto.Digest {
+	d := crypto.HString(payload)
+	// Kick off via a timer on the leader so the proposal flows through a Context.
+	h.net.After(h.leader, 1, func(ctx *simnet.Context) {
+		h.nodes[h.leader].Propose(ctx, 1, d, payload, len(payload))
+	})
+	h.net.RunUntilIdle()
+	return d
+}
+
+func TestConsensusAllHonest(t *testing.T) {
+	for _, scheme := range []SignatureScheme{Ed25519Scheme{}, HashScheme{}} {
+		h := newHarness(t, 7, scheme, 1)
+		d := h.propose("block-contents")
+		res := h.decided[h.leader]
+		if res == nil {
+			t.Fatal("leader did not decide")
+		}
+		if res.Digest != d {
+			t.Fatal("decided wrong digest")
+		}
+		if 2*len(res.Confirms) <= len(h.members) {
+			t.Fatalf("certificate has %d confirms", len(res.Confirms))
+		}
+		// Every member accepted.
+		for _, id := range h.members {
+			if h.accepted[id] != d {
+				t.Fatalf("member %d did not accept", id)
+			}
+		}
+	}
+}
+
+func TestConsensusCertVerifies(t *testing.T) {
+	h := newHarness(t, 5, Ed25519Scheme{}, 2)
+	h.propose("payload")
+	res := h.decided[h.leader]
+	if res == nil {
+		t.Fatal("no decision")
+	}
+	pkOf := func(n simnet.NodeID) crypto.PublicKey { return h.keys[n].PK }
+	if err := VerifyCert(Ed25519Scheme{}, *res, h.members, pkOf); err != nil {
+		t.Fatalf("honest certificate rejected: %v", err)
+	}
+}
+
+func TestCertRejectsForgery(t *testing.T) {
+	h := newHarness(t, 5, Ed25519Scheme{}, 3)
+	h.propose("payload")
+	res := *h.decided[h.leader]
+	pkOf := func(n simnet.NodeID) crypto.PublicKey { return h.keys[n].PK }
+
+	// Tampered digest.
+	bad := res
+	bad.Digest = crypto.HString("other")
+	if err := VerifyCert(Ed25519Scheme{}, bad, h.members, pkOf); err == nil {
+		t.Fatal("tampered digest certificate accepted")
+	}
+
+	// Dropped confirms below quorum.
+	bad2 := res
+	bad2.Confirms = bad2.Confirms[:2]
+	if err := VerifyCert(Ed25519Scheme{}, bad2, h.members, pkOf); err == nil {
+		t.Fatal("sub-quorum certificate accepted")
+	}
+
+	// Duplicate confirmer inflating the count.
+	bad3 := res
+	bad3.Confirms = append([]Confirm{}, res.Confirms[:2]...)
+	bad3.Confirms = append(bad3.Confirms, res.Confirms[1], res.Confirms[1])
+	if err := VerifyCert(Ed25519Scheme{}, bad3, h.members, pkOf); err == nil {
+		t.Fatal("duplicate-confirmer certificate accepted")
+	}
+
+	// Confirmer outside the committee.
+	bad4 := res
+	outsider := bad4.Confirms[0]
+	outsider.Confirmer = 99
+	bad4.Confirms = append([]Confirm{outsider}, bad4.Confirms[1:]...)
+	if err := VerifyCert(Ed25519Scheme{}, bad4, h.members, pkOf); err == nil {
+		t.Fatal("outsider certificate accepted")
+	}
+}
+
+func TestEquivocatingLeaderDetected(t *testing.T) {
+	h := newHarness(t, 6, Ed25519Scheme{}, 4)
+	dA := crypto.HString("version-A")
+	dB := crypto.HString("version-B")
+	h.net.After(h.leader, 1, func(ctx *simnet.Context) {
+		p := h.nodes[h.leader]
+		propA := BuildPropose(p.Scheme, p.Keys, h.leader, 1, 1, dA, "version-A", 9)
+		propB := BuildPropose(p.Scheme, p.Keys, h.leader, 1, 1, dB, "version-B", 9)
+		p.SendRaw(ctx, propA, h.members[1:4])
+		p.SendRaw(ctx, propB, h.members[4:])
+	})
+	h.net.RunUntilIdle()
+
+	// At least one honest member must hold a valid witness.
+	found := false
+	for id, w := range h.witness {
+		if w == nil {
+			continue
+		}
+		found = true
+		if !w.Valid(Ed25519Scheme{}, h.keys[h.leader].PK) {
+			t.Fatalf("member %d built an invalid witness", id)
+		}
+	}
+	if !found {
+		t.Fatal("equivocation went undetected")
+	}
+	// No decision must have been reached on either digest by the leader
+	// (it never proposed via Propose), and safety holds: members who
+	// accepted accepted at most one digest each (they accept before
+	// detecting, but never two).
+	for id := range h.nodes {
+		if h.decided[id] != nil {
+			t.Fatalf("node %d decided despite equivocation", id)
+		}
+	}
+}
+
+func TestNoQuorumWithoutMajorityEchoes(t *testing.T) {
+	// 6-member committee with 4 members offline: 2 echoes are not a
+	// majority, so nobody confirms and the leader never decides.
+	h := newHarness(t, 6, Ed25519Scheme{}, 5)
+	for _, id := range h.members[2:] {
+		h.net.SetDown(id, true)
+	}
+	h.propose("starved")
+	if h.decided[h.leader] != nil {
+		t.Fatal("leader decided without majority")
+	}
+	for _, id := range h.members {
+		if _, ok := h.accepted[id]; ok {
+			t.Fatalf("node %d accepted without majority", id)
+		}
+	}
+}
+
+func TestQuorumWithMinorityOffline(t *testing.T) {
+	// 7 members, 2 offline: 5 online > 7/2 — consensus must complete.
+	h := newHarness(t, 7, Ed25519Scheme{}, 6)
+	h.net.SetDown(h.members[5], true)
+	h.net.SetDown(h.members[6], true)
+	d := h.propose("resilient")
+	res := h.decided[h.leader]
+	if res == nil || res.Digest != d {
+		t.Fatal("consensus failed with minority offline")
+	}
+}
+
+func TestMemberAdoptsProposalFromEcho(t *testing.T) {
+	// A member that never receives the direct PROPOSE still accepts via
+	// the retransmitted proposal inside ECHOes. Simulate by making the
+	// leader skip one member.
+	h := newHarness(t, 5, Ed25519Scheme{}, 7)
+	d := crypto.HString("partial-send")
+	h.net.After(h.leader, 1, func(ctx *simnet.Context) {
+		p := h.nodes[h.leader]
+		prop := BuildPropose(p.Scheme, p.Keys, h.leader, 1, 1, d, "partial-send", 12)
+		// Deliver the proposal to a single member only; everyone else must
+		// learn it from that member's ECHO retransmission.
+		p.SendRaw(ctx, prop, h.members[1:2])
+	})
+	h.net.RunUntilIdle()
+	for _, id := range h.members[1:] {
+		if h.accepted[id] != d {
+			t.Fatalf("member %d failed to adopt proposal from echoes", id)
+		}
+	}
+}
+
+func TestWitnessValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	kp := crypto.GenerateKeyPair(rng)
+	scheme := Ed25519Scheme{}
+	a := BuildPropose(scheme, kp, 1, 1, 1, crypto.HString("a"), nil, 0)
+	b := BuildPropose(scheme, kp, 1, 1, 1, crypto.HString("b"), nil, 0)
+	if !(Witness{A: a, B: b}).Valid(scheme, kp.PK) {
+		t.Fatal("genuine witness rejected")
+	}
+	// Same digest: not equivocation.
+	if (Witness{A: a, B: a}).Valid(scheme, kp.PK) {
+		t.Fatal("same-digest witness accepted")
+	}
+	// Different instance: not equivocation.
+	c := BuildPropose(scheme, kp, 1, 1, 2, crypto.HString("c"), nil, 0)
+	if (Witness{A: a, B: c}).Valid(scheme, kp.PK) {
+		t.Fatal("cross-instance witness accepted")
+	}
+	// Forged signature: a fabricated message cannot frame the leader
+	// (Claim 4).
+	other := crypto.GenerateKeyPair(rng)
+	forged := a
+	forged.Digest = crypto.HString("forged")
+	forged.Sig = scheme.Sign(other, sigParts(TagPropose, 1, 1, forged.Digest)...)
+	if (Witness{A: forged, B: b}).Valid(scheme, kp.PK) {
+		t.Fatal("forged witness accepted — honest leader framed")
+	}
+}
+
+func TestValidatePayloadWithholdsEchoes(t *testing.T) {
+	// When members reject the payload, no echoes flow and neither
+	// acceptance nor a decision can form — the referee committee's
+	// semi-commitment check relies on this.
+	h := newHarness(t, 5, Ed25519Scheme{}, 11)
+	for _, p := range h.nodes {
+		p.ValidatePayload = func(sn uint64, payload any) bool {
+			s, _ := payload.(string)
+			return s != "poison"
+		}
+	}
+	d := crypto.HString("poison")
+	h.net.After(h.leader, 1, func(ctx *simnet.Context) {
+		h.nodes[h.leader].Propose(ctx, 1, d, "poison", 6)
+	})
+	h.net.RunUntilIdle()
+	for id := range h.nodes {
+		if _, ok := h.accepted[id]; ok {
+			t.Fatalf("node %d accepted a rejected payload", id)
+		}
+	}
+	if h.decided[h.leader] != nil {
+		t.Fatal("leader decided on a rejected payload")
+	}
+
+	// A clean payload on a fresh instance still goes through.
+	d2 := crypto.HString("clean")
+	h.net.After(h.leader, 1, func(ctx *simnet.Context) {
+		h.nodes[h.leader].Propose(ctx, 2, d2, "clean", 5)
+	})
+	h.net.RunUntilIdle()
+	if h.accepted[h.members[1]] != d2 {
+		t.Fatal("clean payload rejected")
+	}
+}
+
+func TestConfirmFromOutsiderIgnored(t *testing.T) {
+	// A forged CONFIRM from a non-member signature must not count toward
+	// the leader's quorum.
+	h := newHarness(t, 5, Ed25519Scheme{}, 12)
+	// Only leader + one member online: no quorum possible honestly.
+	for _, id := range h.members[2:] {
+		h.net.SetDown(id, true)
+	}
+	h.propose("starved")
+	if h.decided[h.leader] != nil {
+		t.Fatal("decided without quorum")
+	}
+	// Replay a captured confirm under a bogus signature.
+	forged := Confirm{Round: 1, SN: 1, Digest: crypto.HString("starved"), Confirmer: 3, Sig: []byte("junk")}
+	h.net.Send(3, h.leader, TagConfirm, forged, 10)
+	h.net.Send(4, h.leader, TagConfirm, forged, 10)
+	h.net.RunUntilIdle()
+	if h.decided[h.leader] != nil {
+		t.Fatal("forged confirms produced a decision")
+	}
+}
+
+func TestStaleRoundMessagesIgnored(t *testing.T) {
+	h := newHarness(t, 5, Ed25519Scheme{}, 13)
+	// A proposal signed for round 99 must be dropped by round-1 members.
+	prop := BuildPropose(Ed25519Scheme{}, h.keys[h.leader], h.leader, 99, 1, crypto.HString("old"), "old", 3)
+	h.net.Send(h.leader, h.members[1], TagPropose, prop, 10)
+	h.net.RunUntilIdle()
+	if _, ok := h.accepted[h.members[1]]; ok {
+		t.Fatal("stale-round proposal accepted")
+	}
+}
+
+func TestHashSchemeRoundTrip(t *testing.T) {
+	kp := crypto.GenerateKeyPair(rand.New(rand.NewSource(9)))
+	s := HashScheme{}
+	sig := s.Sign(kp, []byte("m"))
+	if err := s.Verify(kp.PK, sig, []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(kp.PK, sig, []byte("n")); err == nil {
+		t.Fatal("hash scheme verified wrong message")
+	}
+	if s.SigSize() != 32 {
+		t.Fatal("hash scheme size")
+	}
+}
+
+func TestLargeCommitteeConsensus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large committee")
+	}
+	h := newHarness(t, 60, HashScheme{}, 10)
+	d := h.propose("scale")
+	if res := h.decided[h.leader]; res == nil || res.Digest != d {
+		t.Fatal("large committee failed to decide")
+	}
+	accepted := 0
+	for range h.accepted {
+		accepted++
+	}
+	if accepted != 60 {
+		t.Fatalf("%d/60 members accepted", accepted)
+	}
+}

@@ -1,0 +1,106 @@
+// Package crypto provides the cryptographic substrate CycLedger relies on:
+// a SHA-256 random-oracle helper H, an Ed25519 public-key infrastructure,
+// signed message envelopes, a verifiable random function built from
+// deterministic signatures, and the role lottery used to select referee
+// committees and partial sets.
+//
+// Everything is built on the Go standard library only.
+package crypto
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/big"
+)
+
+// HashSize is the byte length of the protocol hash H (SHA-256).
+const HashSize = sha256.Size
+
+// Digest is the output of the protocol's random oracle H.
+type Digest [HashSize]byte
+
+// H is the protocol's external random oracle: SHA-256 over the
+// concatenation of the given byte strings, each prefixed with its length so
+// the encoding is injective (no ambiguity between ("ab","c") and ("a","bc")).
+func H(parts ...[]byte) Digest {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write(p)
+	}
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// HString is a convenience wrapper hashing string parts.
+func HString(parts ...string) Digest {
+	bs := make([][]byte, len(parts))
+	for i, s := range parts {
+		bs[i] = []byte(s)
+	}
+	return H(bs...)
+}
+
+// Bytes returns the digest as a byte slice.
+func (d Digest) Bytes() []byte { return d[:] }
+
+// Uint64 folds the first 8 bytes of the digest into an unsigned integer.
+// It is used for "hash mod m" style committee assignment.
+func (d Digest) Uint64() uint64 {
+	return binary.BigEndian.Uint64(d[:8])
+}
+
+// Mod returns the digest interpreted as a 256-bit big-endian integer,
+// reduced modulo m. m must be positive.
+func (d Digest) Mod(m uint64) uint64 {
+	if m == 0 {
+		panic("crypto: Mod by zero")
+	}
+	x := new(big.Int).SetBytes(d[:])
+	return x.Mod(x, new(big.Int).SetUint64(m)).Uint64()
+}
+
+// Below returns whether the digest, read as a 256-bit big-endian integer,
+// is at or below the target. This is the comparison used by both the PoW
+// puzzle and the role lottery H(r+1 ‖ R ‖ PK ‖ role) ≤ d(role).
+func (d Digest) Below(target *big.Int) bool {
+	x := new(big.Int).SetBytes(d[:])
+	return x.Cmp(target) <= 0
+}
+
+// IsZero reports whether the digest is all zeroes.
+func (d Digest) IsZero() bool {
+	for _, b := range d {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxDigestInt is the largest value a Digest can represent (2^256 - 1).
+func MaxDigestInt() *big.Int {
+	one := big.NewInt(1)
+	max := new(big.Int).Lsh(one, 256)
+	return max.Sub(max, one)
+}
+
+// FractionTarget returns a target t such that a uniformly random digest
+// satisfies d ≤ t with probability num/den. It is used to build difficulty
+// functions d(role) for the role lottery: to select an expected k winners
+// from p candidates, use FractionTarget(k, p).
+func FractionTarget(num, den uint64) *big.Int {
+	if den == 0 {
+		panic("crypto: FractionTarget with zero denominator")
+	}
+	t := new(big.Int).Lsh(big.NewInt(1), 256)
+	t.Mul(t, new(big.Int).SetUint64(num))
+	t.Div(t, new(big.Int).SetUint64(den))
+	if t.Sign() > 0 {
+		t.Sub(t, big.NewInt(1))
+	}
+	return t
+}

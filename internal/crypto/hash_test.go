@@ -1,0 +1,133 @@
+package crypto
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHInjectiveEncoding(t *testing.T) {
+	// ("ab","c") and ("a","bc") must hash differently: the length-prefixed
+	// encoding is injective.
+	a := H([]byte("ab"), []byte("c"))
+	b := H([]byte("a"), []byte("bc"))
+	if a == b {
+		t.Fatal("H collides on shifted part boundaries")
+	}
+}
+
+func TestHDeterministic(t *testing.T) {
+	if H([]byte("x"), []byte("y")) != H([]byte("x"), []byte("y")) {
+		t.Fatal("H is not deterministic")
+	}
+}
+
+func TestHEmptyParts(t *testing.T) {
+	// Zero parts, one empty part, and two empty parts must all differ.
+	h0 := H()
+	h1 := H(nil)
+	h2 := H(nil, nil)
+	if h0 == h1 || h1 == h2 || h0 == h2 {
+		t.Fatal("H does not distinguish empty part counts")
+	}
+}
+
+func TestHString(t *testing.T) {
+	if HString("a", "b") != H([]byte("a"), []byte("b")) {
+		t.Fatal("HString disagrees with H")
+	}
+}
+
+func TestDigestUint64AndMod(t *testing.T) {
+	d := HString("seed")
+	if d.Uint64() == 0 {
+		t.Fatal("suspicious zero fold")
+	}
+	for _, m := range []uint64{1, 2, 7, 1 << 20} {
+		if got := d.Mod(m); got >= m {
+			t.Fatalf("Mod(%d) = %d out of range", m, got)
+		}
+	}
+	if d.Mod(1) != 0 {
+		t.Fatal("Mod(1) must be 0")
+	}
+}
+
+func TestDigestModPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mod(0) did not panic")
+		}
+	}()
+	HString("x").Mod(0)
+}
+
+func TestDigestModMatchesBigInt(t *testing.T) {
+	// Mod must use all 256 bits, not just the first word.
+	f := func(s string, m uint64) bool {
+		if m == 0 {
+			m = 1
+		}
+		d := HString(s)
+		want := new(big.Int).SetBytes(d[:])
+		want.Mod(want, new(big.Int).SetUint64(m))
+		return d.Mod(m) == want.Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFractionTarget(t *testing.T) {
+	// A target for fraction 1/1 accepts everything.
+	all := FractionTarget(1, 1)
+	for i := 0; i < 50; i++ {
+		d := HString("t", string(rune(i)))
+		if !d.Below(all) {
+			t.Fatal("full-fraction target rejected a digest")
+		}
+	}
+	// A zero fraction accepts (essentially) nothing.
+	none := FractionTarget(0, 1)
+	if none.Sign() != 0 {
+		t.Fatalf("zero-fraction target = %v, want 0", none)
+	}
+}
+
+func TestFractionTargetEmpiricalRate(t *testing.T) {
+	// About half of random digests should fall below the 1/2 target.
+	target := FractionTarget(1, 2)
+	rng := rand.New(rand.NewSource(7))
+	hits, trials := 0, 4000
+	for i := 0; i < trials; i++ {
+		var buf [16]byte
+		rng.Read(buf[:])
+		if H(buf[:]).Below(target) {
+			hits++
+		}
+	}
+	rate := float64(hits) / float64(trials)
+	if rate < 0.45 || rate > 0.55 {
+		t.Fatalf("hit rate %.3f too far from 0.5", rate)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	var d Digest
+	if !d.IsZero() {
+		t.Fatal("zero digest not recognised")
+	}
+	if HString("x").IsZero() {
+		t.Fatal("nonzero digest reported zero")
+	}
+}
+
+func TestMaxDigestInt(t *testing.T) {
+	max := MaxDigestInt()
+	want := new(big.Int).Lsh(big.NewInt(1), 256)
+	want.Sub(want, big.NewInt(1))
+	if max.Cmp(want) != 0 {
+		t.Fatalf("MaxDigestInt = %v", max)
+	}
+}

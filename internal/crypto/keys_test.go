@@ -1,0 +1,104 @@
+package crypto
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateKeyPairDeterministic(t *testing.T) {
+	a := GenerateKeyPair(rand.New(rand.NewSource(1)))
+	b := GenerateKeyPair(rand.New(rand.NewSource(1)))
+	if !a.PK.Equal(b.PK) {
+		t.Fatal("same seed produced different keys")
+	}
+	c := GenerateKeyPair(rand.New(rand.NewSource(2)))
+	if a.PK.Equal(c.PK) {
+		t.Fatal("different seeds produced identical keys")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	kp := GenerateKeyPair(rand.New(rand.NewSource(3)))
+	sig := Sign(kp.SK, []byte("hello"), []byte("world"))
+	if err := Verify(kp.PK, sig, []byte("hello"), []byte("world")); err != nil {
+		t.Fatalf("valid signature rejected: %v", err)
+	}
+	if err := Verify(kp.PK, sig, []byte("hello"), []byte("mars")); err == nil {
+		t.Fatal("tampered message accepted")
+	}
+	other := GenerateKeyPair(rand.New(rand.NewSource(4)))
+	if err := Verify(other.PK, sig, []byte("hello"), []byte("world")); err == nil {
+		t.Fatal("wrong key accepted")
+	}
+}
+
+func TestVerifyBadKeyLength(t *testing.T) {
+	if err := Verify(PublicKey{1, 2, 3}, nil, []byte("m")); err == nil {
+		t.Fatal("short public key accepted")
+	}
+}
+
+func TestPKIRegisterLookup(t *testing.T) {
+	p := NewPKI()
+	kp := GenerateKeyPair(rand.New(rand.NewSource(5)))
+	if err := p.Register("node-1", kp.PK); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent re-registration.
+	if err := p.Register("node-1", kp.PK); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := p.Lookup("node-1")
+	if !ok || !got.Equal(kp.PK) {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := p.Lookup("absent"); ok {
+		t.Fatal("lookup of absent identity succeeded")
+	}
+	// Conflicting re-registration must fail.
+	other := GenerateKeyPair(rand.New(rand.NewSource(6)))
+	if err := p.Register("node-1", other.PK); err == nil {
+		t.Fatal("conflicting registration accepted")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", p.Len())
+	}
+}
+
+func TestPKIIdentitiesSorted(t *testing.T) {
+	p := NewPKI()
+	rng := rand.New(rand.NewSource(7))
+	for _, id := range []string{"c", "a", "b"} {
+		if err := p.Register(id, GenerateKeyPair(rng).PK); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := p.Identities()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("Identities = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestPublicKeyOrdering(t *testing.T) {
+	a := PublicKey{0, 1}
+	b := PublicKey{0, 2}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("Less ordering broken")
+	}
+	if a.Less(a) {
+		t.Fatal("Less is not irreflexive")
+	}
+}
+
+func TestPublicKeyString(t *testing.T) {
+	if PublicKey(nil).String() != "pk:empty" {
+		t.Fatal("empty key string")
+	}
+	s := PublicKey{0xab, 0xcd}.String()
+	if s != "pk:abcd" {
+		t.Fatalf("short key string = %q", s)
+	}
+}

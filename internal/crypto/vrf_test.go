@@ -1,0 +1,103 @@
+package crypto
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVRFProveVerify(t *testing.T) {
+	kp := GenerateKeyPair(rand.New(rand.NewSource(1)))
+	out := VRFProve(kp.SK, []byte("alpha"))
+	if err := VRFVerify(kp.PK, []byte("alpha"), out); err != nil {
+		t.Fatalf("honest VRF rejected: %v", err)
+	}
+}
+
+func TestVRFUniqueness(t *testing.T) {
+	// Deterministic signing means the same (key, input) always gives the
+	// same output — the uniqueness property sortition depends on.
+	kp := GenerateKeyPair(rand.New(rand.NewSource(2)))
+	a := VRFProve(kp.SK, []byte("in"))
+	b := VRFProve(kp.SK, []byte("in"))
+	if a.Hash != b.Hash {
+		t.Fatal("VRF not deterministic")
+	}
+}
+
+func TestVRFDifferentInputsDiffer(t *testing.T) {
+	kp := GenerateKeyPair(rand.New(rand.NewSource(3)))
+	if VRFProve(kp.SK, []byte("a")).Hash == VRFProve(kp.SK, []byte("b")).Hash {
+		t.Fatal("distinct inputs collided")
+	}
+}
+
+func TestVRFWrongKeyRejected(t *testing.T) {
+	kp := GenerateKeyPair(rand.New(rand.NewSource(4)))
+	other := GenerateKeyPair(rand.New(rand.NewSource(5)))
+	out := VRFProve(kp.SK, []byte("alpha"))
+	if err := VRFVerify(other.PK, []byte("alpha"), out); err == nil {
+		t.Fatal("VRF verified under wrong key")
+	}
+}
+
+func TestVRFWrongInputRejected(t *testing.T) {
+	kp := GenerateKeyPair(rand.New(rand.NewSource(6)))
+	out := VRFProve(kp.SK, []byte("alpha"))
+	if err := VRFVerify(kp.PK, []byte("beta"), out); err == nil {
+		t.Fatal("VRF verified for wrong input")
+	}
+}
+
+func TestVRFForgedHashRejected(t *testing.T) {
+	kp := GenerateKeyPair(rand.New(rand.NewSource(7)))
+	out := VRFProve(kp.SK, []byte("alpha"))
+	out.Hash[0] ^= 0xff
+	if err := VRFVerify(kp.PK, []byte("alpha"), out); err == nil {
+		t.Fatal("forged hash accepted")
+	}
+}
+
+func TestVRFForgedProofRejected(t *testing.T) {
+	kp := GenerateKeyPair(rand.New(rand.NewSource(8)))
+	out := VRFProve(kp.SK, []byte("alpha"))
+	out.Proof[0] ^= 0xff
+	if err := VRFVerify(kp.PK, []byte("alpha"), out); err == nil {
+		t.Fatal("forged proof accepted")
+	}
+}
+
+func TestVRFBadKeyLength(t *testing.T) {
+	if err := VRFVerify(PublicKey{1}, []byte("a"), VRFOutput{}); err == nil {
+		t.Fatal("short key accepted")
+	}
+}
+
+func TestVRFPropertyRoundTrip(t *testing.T) {
+	kp := GenerateKeyPair(rand.New(rand.NewSource(9)))
+	f := func(alpha []byte) bool {
+		out := VRFProve(kp.SK, alpha)
+		return VRFVerify(kp.PK, alpha, out) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVRFOutputRoughlyUniform(t *testing.T) {
+	// Committee assignment hash mod m should be near-uniform across keys.
+	const m, keys = 8, 4000
+	counts := make([]int, m)
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < keys; i++ {
+		kp := GenerateKeyPair(rng)
+		out := VRFProve(kp.SK, []byte("round-1"))
+		counts[out.Hash.Mod(m)]++
+	}
+	want := float64(keys) / m
+	for i, c := range counts {
+		if float64(c) < want*0.75 || float64(c) > want*1.25 {
+			t.Fatalf("bucket %d has %d keys, expected about %.0f", i, c, want)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package ledger
+
+import "fmt"
+
+// Overlay is a copy-on-write view over a base UTXO set: spends and new
+// outputs are recorded locally without touching the base. Committee
+// members use it to evaluate transaction lists *in order*, so a
+// transaction chained onto an earlier one in the same list can validate —
+// the §VIII-B "parallelizing block generation" extension, where two
+// transactions with a spend dependency may both be accepted in one round.
+type Overlay struct {
+	base  UTXOView
+	spent map[OutPoint]bool
+	added map[OutPoint]Output
+}
+
+// NewOverlay wraps a base view.
+func NewOverlay(base UTXOView) *Overlay {
+	return &Overlay{
+		base:  base,
+		spent: make(map[OutPoint]bool),
+		added: make(map[OutPoint]Output),
+	}
+}
+
+// Get implements UTXOView.
+func (o *Overlay) Get(op OutPoint) (Output, bool) {
+	if o.spent[op] {
+		return Output{}, false
+	}
+	if out, ok := o.added[op]; ok {
+		return out, true
+	}
+	return o.base.Get(op)
+}
+
+// ApplyTx spends the transaction's inputs and adds its outputs in the
+// overlay only. It fails (without partial effect) when an input is
+// unavailable.
+func (o *Overlay) ApplyTx(tx *Tx) error {
+	for _, in := range tx.Inputs {
+		if _, ok := o.Get(in); !ok {
+			return fmt.Errorf("ledger: overlay apply: input %v missing", in)
+		}
+	}
+	id := tx.ID()
+	for i := range tx.Outputs {
+		op := OutPoint{Tx: id, Index: uint32(i)}
+		if _, ok := o.Get(op); ok {
+			return fmt.Errorf("ledger: overlay apply: output %v already exists", op)
+		}
+	}
+	for _, in := range tx.Inputs {
+		if _, locallyAdded := o.added[in]; locallyAdded {
+			delete(o.added, in)
+		} else {
+			o.spent[in] = true
+		}
+	}
+	for i, out := range tx.Outputs {
+		o.added[OutPoint{Tx: id, Index: uint32(i)}] = out
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+// Package ledger implements the UTXO transaction model CycLedger's
+// committees validate: transactions with multi-shard inputs and outputs,
+// per-shard UTXO sets, and the authentication predicate V of §III-D
+// (inputs exist, no double spend, inputs cover outputs).
+//
+// Users are statically partitioned into m shards; a UTXO lives in the shard
+// of the user who owns it. A transaction is intra-shard when every input
+// and output belongs to one shard, and cross-shard otherwise (§IV-C/D).
+package ledger
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"cycledger/internal/crypto"
+)
+
+// TxID uniquely identifies a transaction (hash of its canonical encoding).
+type TxID = crypto.Digest
+
+// OutPoint names one output of a prior transaction.
+type OutPoint struct {
+	Tx    TxID
+	Index uint32
+}
+
+// String renders the outpoint for diagnostics.
+func (o OutPoint) String() string {
+	return fmt.Sprintf("%x:%d", o.Tx[:4], o.Index)
+}
+
+// Output is a spendable coin: an amount locked to a user.
+type Output struct {
+	Owner  string // user identity (shard = ShardOf(Owner, m))
+	Amount uint64
+}
+
+// Tx is a transfer: it consumes the UTXOs named by Inputs and creates
+// Outputs. Fee is implicit: sum(inputs) - sum(outputs).
+type Tx struct {
+	Inputs  []OutPoint
+	Outputs []Output
+	// Nonce distinguishes otherwise-identical transactions (e.g. two
+	// equal payments between the same parties in one round).
+	Nonce uint64
+}
+
+// encode produces the canonical byte encoding used for hashing.
+func (tx *Tx) encode() []byte {
+	var buf []byte
+	var u64 [8]byte
+	var u32 [4]byte
+	binary.BigEndian.PutUint64(u64[:], tx.Nonce)
+	buf = append(buf, u64[:]...)
+	binary.BigEndian.PutUint32(u32[:], uint32(len(tx.Inputs)))
+	buf = append(buf, u32[:]...)
+	for _, in := range tx.Inputs {
+		buf = append(buf, in.Tx[:]...)
+		binary.BigEndian.PutUint32(u32[:], in.Index)
+		buf = append(buf, u32[:]...)
+	}
+	binary.BigEndian.PutUint32(u32[:], uint32(len(tx.Outputs)))
+	buf = append(buf, u32[:]...)
+	for _, out := range tx.Outputs {
+		binary.BigEndian.PutUint32(u32[:], uint32(len(out.Owner)))
+		buf = append(buf, u32[:]...)
+		buf = append(buf, out.Owner...)
+		binary.BigEndian.PutUint64(u64[:], out.Amount)
+		buf = append(buf, u64[:]...)
+	}
+	return buf
+}
+
+// ID returns the transaction hash.
+func (tx *Tx) ID() TxID {
+	return crypto.H([]byte("cycledger/tx/v1"), tx.encode())
+}
+
+// OutputSum returns the total value created by the transaction.
+func (tx *Tx) OutputSum() uint64 {
+	var s uint64
+	for _, o := range tx.Outputs {
+		s += o.Amount
+	}
+	return s
+}
+
+// ShardOf maps a user identity to its shard in [0, m).
+func ShardOf(user string, m uint64) uint64 {
+	return crypto.HString("cycledger/shard/v1", user).Mod(m)
+}
+
+// InputShards returns the sorted set of shards referenced by the
+// transaction's inputs, given the owners recorded in the UTXO view.
+// Unknown inputs are skipped (validation will reject them separately).
+func InputShards(tx *Tx, view UTXOView, m uint64) []uint64 {
+	set := map[uint64]bool{}
+	for _, in := range tx.Inputs {
+		if out, ok := view.Get(in); ok {
+			set[ShardOf(out.Owner, m)] = true
+		}
+	}
+	return sortedShardSet(set)
+}
+
+// OutputShards returns the sorted set of shards receiving outputs.
+func OutputShards(tx *Tx, m uint64) []uint64 {
+	set := map[uint64]bool{}
+	for _, o := range tx.Outputs {
+		set[ShardOf(o.Owner, m)] = true
+	}
+	return sortedShardSet(set)
+}
+
+// TouchedShards returns the union of input and output shards.
+func TouchedShards(tx *Tx, view UTXOView, m uint64) []uint64 {
+	set := map[uint64]bool{}
+	for _, s := range InputShards(tx, view, m) {
+		set[s] = true
+	}
+	for _, s := range OutputShards(tx, m) {
+		set[s] = true
+	}
+	return sortedShardSet(set)
+}
+
+// IsCrossShard reports whether the transaction touches more than one shard.
+func IsCrossShard(tx *Tx, view UTXOView, m uint64) bool {
+	return len(TouchedShards(tx, view, m)) > 1
+}
+
+func sortedShardSet(set map[uint64]bool) []uint64 {
+	out := make([]uint64, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

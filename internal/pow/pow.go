@@ -1,0 +1,65 @@
+// Package pow implements the Proof-of-Work participation puzzle of §IV-F:
+// nodes that want to join the next round must present a puzzle solution to
+// the referee committee, which rate-limits Sybil identities between rounds.
+// The puzzle is a standard SHA-256 partial-preimage search with an
+// adjustable difficulty target.
+package pow
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/big"
+
+	"cycledger/internal/crypto"
+)
+
+// Puzzle is the per-round challenge published by the referee committee.
+type Puzzle struct {
+	Round      uint64
+	Randomness crypto.Digest // the round randomness R_r, so solutions cannot be precomputed
+	Target     *big.Int      // a solution digest must be ≤ Target
+}
+
+// Solution certifies that a node spent work on the round's puzzle.
+type Solution struct {
+	PK    crypto.PublicKey
+	Nonce uint64
+}
+
+// NewPuzzle creates a puzzle whose expected solving cost is `hardness`
+// hash evaluations (a uniformly random digest succeeds with probability
+// 1/hardness).
+func NewPuzzle(round uint64, randomness crypto.Digest, hardness uint64) Puzzle {
+	if hardness == 0 {
+		hardness = 1
+	}
+	return Puzzle{Round: round, Randomness: randomness, Target: crypto.FractionTarget(1, hardness)}
+}
+
+func (p Puzzle) digest(pk crypto.PublicKey, nonce uint64) crypto.Digest {
+	var rb, nb [8]byte
+	binary.BigEndian.PutUint64(rb[:], p.Round)
+	binary.BigEndian.PutUint64(nb[:], nonce)
+	return crypto.H([]byte("cycledger/pow/v1"), rb[:], p.Randomness[:], pk, nb[:])
+}
+
+// ErrNoSolution is returned when Solve exhausts its attempt budget.
+var ErrNoSolution = errors.New("pow: attempt budget exhausted")
+
+// Solve searches for a nonce satisfying the puzzle, trying at most
+// maxAttempts nonces starting from `start`. Different nodes pass different
+// start offsets so simulated work does not collide.
+func Solve(p Puzzle, pk crypto.PublicKey, start, maxAttempts uint64) (Solution, uint64, error) {
+	for i := uint64(0); i < maxAttempts; i++ {
+		nonce := start + i
+		if p.digest(pk, nonce).Below(p.Target) {
+			return Solution{PK: pk, Nonce: nonce}, i + 1, nil
+		}
+	}
+	return Solution{}, maxAttempts, ErrNoSolution
+}
+
+// Verify checks a claimed solution in a single hash evaluation.
+func Verify(p Puzzle, s Solution) bool {
+	return p.digest(s.PK, s.Nonce).Below(p.Target)
+}

@@ -1,0 +1,36 @@
+package protocol
+
+// VoteStrategy controls how a member votes on transaction lists (§IV-C).
+type VoteStrategy int
+
+const (
+	// VoteHonest validates each transaction against the shard view.
+	VoteHonest VoteStrategy = iota
+	// VoteInvert answers the opposite of the honest verdict.
+	VoteInvert
+	// VoteLazy answers Unknown on everything (zero effort).
+	VoteLazy
+	// VoteYes blindly approves everything.
+	VoteYes
+)
+
+// Behavior is the explicit deviation profile of a byzantine node. The zero
+// value is fully honest.
+type Behavior struct {
+	Offline bool // drops all traffic ("pretending to be offline")
+
+	Vote VoteStrategy
+
+	// Leader faults (only effective when the node holds a leader seat).
+	EquivocateIntra bool // propose two different TXdecSETs in Algorithm 3
+	ForgeSemiCommit bool // send H(S') ≠ H(S) to C_R and the partial set
+	ConcealCross    bool // drop incoming cross-shard transaction lists
+	CensorAll       bool // propose an empty TXList (censorship)
+	SuppressScore   bool // never run the reputation-update consensus
+}
+
+// Honest is the all-honest behaviour.
+var Honest = Behavior{}
+
+// IsByzantine reports whether the behaviour deviates at all.
+func (b Behavior) IsByzantine() bool { return b != Honest }

@@ -1,0 +1,423 @@
+package protocol
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"cycledger/internal/chain"
+	"cycledger/internal/committee"
+	"cycledger/internal/crypto"
+	"cycledger/internal/ledger"
+	"cycledger/internal/pow"
+	"cycledger/internal/pvss"
+	"cycledger/internal/reputation"
+	"cycledger/internal/simnet"
+	"cycledger/internal/workload"
+)
+
+// RecoveryEvent records one completed leader re-selection.
+type RecoveryEvent struct {
+	Round     uint64
+	Committee uint64
+	Evicted   simnet.NodeID
+	Successor simnet.NodeID
+	Kind      string
+}
+
+// RoundReport summarises one protocol round.
+type RoundReport struct {
+	Round          uint64
+	IntraIncluded  int
+	CrossIncluded  int
+	Rejected       int
+	Fees           uint64
+	Recoveries     []RecoveryEvent
+	Participants   int
+	Duration       simnet.Time
+	Messages       uint64
+	Bytes          uint64
+	PhaseTraffic   map[string]simnet.Counter            // phase → totals
+	RoleTraffic    map[string]map[string]simnet.Counter // phase → role → totals
+	Rewards        map[string]uint64
+	BlockDelivered int // nodes that received the block
+	Screened       int // cross-shard txs dropped by §VIII-A pre-screening
+}
+
+// Throughput returns included transactions per round.
+func (r *RoundReport) Throughput() int { return r.IntraIncluded + r.CrossIncluded }
+
+// Engine runs the full protocol over a simulated network.
+type Engine struct {
+	P   Params
+	Net *simnet.Network
+
+	rng   *rand.Rand
+	keys  []crypto.KeyPair
+	names []string
+	nodes []*Node
+
+	reput  *reputation.Ledger
+	utxo   *ledger.UTXOSet
+	gen    *workload.Generator
+	group  *pvss.Group
+	chain  *chain.Chain
+	lat    simnet.Latency
+	roster *Roster
+	round  uint64
+
+	randomness crypto.Digest
+	nextRoster *Roster
+	reports    []*RoundReport
+
+	crossLists map[uint64]map[uint64][]*ledger.Tx // input shard → output shard → txs
+	offered    []*ledger.Tx
+	screenedMu sync.Mutex
+	screened   int
+}
+
+// noteScreened tallies §VIII-A pre-screen drops (called from handlers,
+// which may run on the simnet worker pool).
+func (e *Engine) noteScreened(n int) {
+	if n <= 0 {
+		return
+	}
+	e.screenedMu.Lock()
+	e.screened += n
+	e.screenedMu.Unlock()
+}
+
+// NewEngine builds the node population, genesis state, and the round-1
+// roster (in a real deployment round 1's key members come from a bootstrap
+// block; here the engine plays that block's role).
+func NewEngine(p Params) (*Engine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		P:     p,
+		rng:   rand.New(rand.NewSource(p.Seed)),
+		reput: reputation.NewLedger(),
+		utxo:  ledger.NewUTXOSet(),
+		group: pvss.DefaultGroup(),
+		chain: chain.New(),
+	}
+	e.lat = simnet.DefaultLatency()
+	e.lat.Classify = func(from, to simnet.NodeID) simnet.LinkClass {
+		if e.roster == nil {
+			return simnet.LinkIntra
+		}
+		return e.roster.linkClass(from, to)
+	}
+	e.Net = simnet.New(e.lat, p.Seed)
+	if p.Parallelism != 1 {
+		e.Net.SetParallelism(p.Parallelism)
+	}
+
+	n := p.TotalNodes()
+	e.keys = make([]crypto.KeyPair, n)
+	e.names = make([]string, n)
+	e.nodes = make([]*Node, n)
+	for i := 0; i < n; i++ {
+		e.keys[i] = crypto.GenerateKeyPair(e.rng)
+		e.names[i] = fmt.Sprintf("node-%04d", i)
+		node := &Node{ID: simnet.NodeID(i), Name: e.names[i], Keys: e.keys[i], eng: e}
+		e.nodes[i] = node
+		e.Net.Register(node.ID, node.Handle)
+	}
+	e.assignByzantine()
+
+	// Workload and genesis.
+	gen, err := workload.New(workload.Config{
+		Users:          2 * n,
+		Shards:         uint64(p.M),
+		InitialBalance: 1_000,
+		CrossShardFrac: p.CrossFrac,
+		InvalidFrac:    p.InvalidFrac,
+		Seed:           p.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.gen = gen
+	for _, tx := range gen.Genesis() {
+		id := tx.ID()
+		for i, o := range tx.Outputs {
+			if err := e.utxo.Add(ledger.OutPoint{Tx: id, Index: uint32(i)}, o); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	e.randomness = crypto.H([]byte("cycledger/genesis"), u64(uint64(p.Seed)))
+	e.roster = e.bootstrapRoster()
+	e.round = 1
+	return e, nil
+}
+
+// assignByzantine marks MaliciousFrac of nodes byzantine. With
+// CorruptLeaders the budget is spent on the bootstrap leader seats first
+// (the adversary is mildly adaptive and leader seats are public one round
+// ahead, §III-C).
+func (e *Engine) assignByzantine() {
+	total := len(e.nodes)
+	budget := int(e.P.MaliciousFrac * float64(total))
+	if budget == 0 {
+		return
+	}
+	var order []int
+	if e.P.CorruptLeaders {
+		// Bootstrap leaders occupy indices [RefSize, RefSize+M).
+		for i := e.P.RefSize; i < e.P.RefSize+e.P.M && len(order) < budget; i++ {
+			order = append(order, i)
+		}
+	}
+	perm := e.rng.Perm(total)
+	for _, i := range perm {
+		if len(order) >= budget {
+			break
+		}
+		dup := false
+		for _, j := range order {
+			if i == j {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			order = append(order, i)
+		}
+	}
+	for _, i := range order {
+		e.nodes[i].Behavior = e.P.ByzantineBehavior
+	}
+}
+
+// bootstrapRoster builds round 1's roster: referee first, then leaders,
+// then partial sets round-robin; everyone else joins as a common member
+// via sortition (resolved in the configuration phase).
+func (e *Engine) bootstrapRoster() *Roster {
+	r := newRoster(1, e.randomness, uint64(e.P.M))
+	var ref []simnet.NodeID
+	for i := 0; i < e.P.RefSize; i++ {
+		ref = append(ref, simnet.NodeID(i))
+	}
+	r.setReferee(ref)
+	idx := e.P.RefSize
+	for k := 0; k < e.P.M; k++ {
+		r.setLeader(uint64(k), simnet.NodeID(idx))
+		idx++
+	}
+	for j := 0; j < e.P.Lambda; j++ {
+		for k := 0; k < e.P.M; k++ {
+			r.addPartial(uint64(k), simnet.NodeID(idx))
+			idx++
+		}
+	}
+	e.assignCommons(r, idx)
+	return r
+}
+
+// assignCommons places the remaining population via Algorithm 1 sortition.
+func (e *Engine) assignCommons(r *Roster, from int) {
+	for i := from; i < len(e.nodes); i++ {
+		res := committee.Sortition(e.keys[i], r.Round, r.Randomness, r.M)
+		r.addCommon(res.CommitteeID, simnet.NodeID(i))
+	}
+}
+
+// pkOf resolves a node's public key (the PKI of §III-A).
+func (e *Engine) pkOf(id simnet.NodeID) crypto.PublicKey {
+	if int(id) >= len(e.keys) || id < 0 {
+		return nil
+	}
+	return e.keys[id].PK
+}
+
+// NameOf returns a node's stable identity string.
+func (e *Engine) NameOf(id simnet.NodeID) string { return e.names[id] }
+
+// IsByzantine reports whether the node was assigned a byzantine behaviour.
+func (e *Engine) IsByzantine(id simnet.NodeID) bool {
+	if int(id) >= len(e.nodes) || id < 0 {
+		return false
+	}
+	return e.nodes[id].Behavior.IsByzantine()
+}
+
+// Reputation exposes the ledger (read-only use in examples and tests).
+func (e *Engine) Reputation() *reputation.Ledger { return e.reput }
+
+// UTXO exposes the global UTXO set.
+func (e *Engine) UTXO() *ledger.UTXOSet { return e.utxo }
+
+// Roster exposes the current round's roster.
+func (e *Engine) Roster() *Roster { return e.roster }
+
+// Reports returns the per-round reports collected so far.
+func (e *Engine) Reports() []*RoundReport { return e.reports }
+
+// Chain returns the verified block store accumulated across rounds.
+func (e *Engine) Chain() *chain.Chain { return e.chain }
+
+// GenesisUTXO rebuilds the genesis UTXO snapshot, for external chain
+// re-verification.
+func (e *Engine) GenesisUTXO() (*ledger.UTXOSet, error) {
+	s := ledger.NewUTXOSet()
+	for _, tx := range e.gen.Genesis() {
+		id := tx.ID()
+		for i, o := range tx.Outputs {
+			if err := s.Add(ledger.OutPoint{Tx: id, Index: uint32(i)}, o); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// coordinatorFor maps a committee to its referee-committee coordinator for
+// C_R-internal Algorithm 3 instances.
+func (e *Engine) coordinatorFor(k uint64) simnet.NodeID {
+	return e.roster.Referee[int(k)%len(e.roster.Referee)]
+}
+
+// successorFor picks the replacement leader: the lowest-ID partial member.
+func (e *Engine) successorFor(k uint64) simnet.NodeID {
+	ps := e.roster.Partials[k]
+	if len(ps) == 0 {
+		return -1
+	}
+	min := ps[0]
+	for _, id := range ps[1:] {
+		if id < min {
+			min = id
+		}
+	}
+	return min
+}
+
+// propagateBlock spreads the decided block: each referee member serves the
+// slice of leaders assigned to it round-robin; leaders forward within
+// their committees (onBlock). This splits the paper's O(mn) referee burden
+// across C_R.
+func (e *Engine) propagateBlock(ctx *simnet.Context, refID simnet.NodeID, blk *Block) {
+	idx := -1
+	for i, id := range e.roster.Referee {
+		if id == refID {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	msg := BlockMsg{Block: blk}
+	for k := idx; k < e.P.M; k += len(e.roster.Referee) {
+		ctx.Send(e.roster.Leaders[k], TagBlock, msg, blk.WireSize())
+	}
+	// Referee members also serve each other.
+	for i, id := range e.roster.Referee {
+		if i != idx && (i%len(e.roster.Referee)) == idx {
+			ctx.Send(id, TagBlock, msg, blk.WireSize())
+		}
+	}
+}
+
+// phaseLabel namespaces metrics per round.
+func (e *Engine) phaseLabel(phase string) string {
+	return fmt.Sprintf("r%03d/%s", e.round, phase)
+}
+
+func (e *Engine) setPhase(phase string) {
+	e.Net.Metrics().SetPhase(e.phaseLabel(phase))
+}
+
+// Run executes the configured number of rounds.
+func (e *Engine) Run() ([]*RoundReport, error) {
+	for i := 0; i < e.P.Rounds; i++ {
+		if _, err := e.RunRound(); err != nil {
+			return e.reports, err
+		}
+	}
+	return e.reports, nil
+}
+
+// RunRound executes one full protocol round and returns its report.
+func (e *Engine) RunRound() (*RoundReport, error) {
+	report := &RoundReport{
+		Round:        e.round,
+		PhaseTraffic: make(map[string]simnet.Counter),
+		RoleTraffic:  make(map[string]map[string]simnet.Counter),
+		Rewards:      make(map[string]uint64),
+	}
+	start := e.Net.Now()
+
+	e.phaseConfig()
+	e.phaseSemiCommit(report)
+	e.phaseIntra(report)
+	e.phaseInter(report)
+	e.phaseScore(report)
+	e.phaseSelect(report)
+	if err := e.phaseBlock(report); err != nil {
+		return nil, err
+	}
+
+	report.Duration = e.Net.Now() - start
+	e.screenedMu.Lock()
+	report.Screened = e.screened
+	e.screened = 0
+	e.screenedMu.Unlock()
+	e.collectTraffic(report)
+	e.reports = append(e.reports, report)
+
+	// Advance to the next round.
+	e.roster = e.nextRoster
+	e.nextRoster = nil
+	e.round++
+	return report, nil
+}
+
+// collectTraffic aggregates the per-phase, per-role counters for Table II.
+func (e *Engine) collectTraffic(report *RoundReport) {
+	phases := []string{"config", "semicommit", "intra", "inter", "score", "select", "block"}
+	roleSets := map[string][]simnet.NodeID{
+		"common":  e.roster.CommonsOfAll(),
+		"key":     e.roster.AllKeyMembers(),
+		"referee": e.roster.Referee,
+	}
+	m := e.Net.Metrics()
+	for _, ph := range phases {
+		label := e.phaseLabel(ph)
+		var total simnet.Counter
+		byRole := make(map[string]simnet.Counter, len(roleSets))
+		for role, ids := range roleSets {
+			c := m.SentByNodes(label, ids)
+			byRole[role] = c
+			total.Add(c)
+		}
+		report.PhaseTraffic[ph] = total
+		report.RoleTraffic[ph] = byRole
+		report.Messages += total.Messages
+		report.Bytes += total.Bytes
+	}
+}
+
+// sortedCommitteeIDs is a small helper for deterministic iteration.
+func sortedCommitteeIDs[V any](m map[uint64]V) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// powPuzzle returns the participation puzzle for the next round.
+func (e *Engine) powPuzzle() pow.Puzzle {
+	hardness := e.P.PowHardness
+	if hardness == 0 {
+		hardness = 8
+	}
+	return pow.NewPuzzle(e.round+1, e.randomness, hardness)
+}

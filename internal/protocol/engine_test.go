@@ -1,0 +1,87 @@
+package protocol
+
+import (
+	"testing"
+
+	"cycledger/internal/consensus"
+)
+
+func runEngine(t *testing.T, p Params) (*Engine, []*RoundReport) {
+	t.Helper()
+	e, err := NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, reports
+}
+
+func TestEngineHonestRound(t *testing.T) {
+	p := DefaultParams()
+	p.Rounds = 1
+	e, reports := runEngine(t, p)
+	r := reports[0]
+	if r.Throughput() == 0 {
+		t.Fatal("no transactions included")
+	}
+	if r.IntraIncluded == 0 {
+		t.Fatal("no intra-shard transactions included")
+	}
+	if r.CrossIncluded == 0 {
+		t.Fatal("no cross-shard transactions included")
+	}
+	if len(r.Recoveries) != 0 {
+		t.Fatalf("unexpected recoveries in honest run: %v", r.Recoveries)
+	}
+	if r.Fees == 0 {
+		t.Fatal("no fees collected")
+	}
+	if r.BlockDelivered < p.TotalNodes()/2 {
+		t.Fatalf("block reached only %d/%d nodes", r.BlockDelivered, p.TotalNodes())
+	}
+	if r.Participants != p.TotalNodes() {
+		t.Fatalf("participants = %d, want %d", r.Participants, p.TotalNodes())
+	}
+	if e.Roster().Round != 2 {
+		t.Fatalf("engine did not advance to round 2")
+	}
+}
+
+func TestEngineMultiRound(t *testing.T) {
+	p := DefaultParams()
+	p.Rounds = 3
+	_, reports := runEngine(t, p)
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	for i, r := range reports {
+		if r.Throughput() == 0 {
+			t.Fatalf("round %d included nothing", i+1)
+		}
+	}
+}
+
+func TestEngineDeterministic(t *testing.T) {
+	p := DefaultParams()
+	p.Rounds = 2
+	_, a := runEngine(t, p)
+	_, b := runEngine(t, p)
+	for i := range a {
+		if a[i].Throughput() != b[i].Throughput() || a[i].Fees != b[i].Fees || a[i].Messages != b[i].Messages {
+			t.Fatalf("round %d diverged: %+v vs %+v", i+1, a[i], b[i])
+		}
+	}
+}
+
+func TestEngineEd25519SchemeRound(t *testing.T) {
+	p := DefaultParams()
+	p.Rounds = 1
+	p.Scheme = consensus.Ed25519Scheme{}
+	_, reports := runEngine(t, p)
+	if reports[0].Throughput() == 0 {
+		t.Fatal("no transactions included under Ed25519")
+	}
+}

@@ -1,0 +1,127 @@
+package protocol
+
+import "testing"
+
+// Tests for the §VIII "future work" extensions implemented as opt-in
+// parameters: cross-shard pre-screening (§VIII-A) and parallelized block
+// generation with chained-transaction acceptance (§VIII-B).
+
+func TestPreScreenDropsInvalidCrossTxs(t *testing.T) {
+	base := DefaultParams()
+	base.Rounds = 1
+	base.CrossFrac = 0.6
+	base.InvalidFrac = 0.4 // DoS-like workload, the §VIII-A motivation
+
+	plain := base
+	_, plainReports := runEngine(t, plain)
+
+	screened := base
+	screened.PreScreenCross = true
+	_, scrReports := runEngine(t, screened)
+
+	if scrReports[0].Screened == 0 {
+		t.Fatal("pre-screening dropped nothing under a DoS workload")
+	}
+	// Valid throughput must not suffer.
+	if scrReports[0].Throughput() < plainReports[0].Throughput()*8/10 {
+		t.Fatalf("pre-screening hurt throughput: %d vs %d",
+			scrReports[0].Throughput(), plainReports[0].Throughput())
+	}
+	// The inter phase should carry less traffic (fewer/smaller lists
+	// through two Algorithm 3 runs), net of the query/preference cost.
+	plainBytes := plainReports[0].PhaseTraffic["inter"].Bytes
+	scrBytes := scrReports[0].PhaseTraffic["inter"].Bytes
+	if scrBytes >= plainBytes {
+		t.Fatalf("pre-screening did not reduce inter-phase bytes: %d vs %d", scrBytes, plainBytes)
+	}
+}
+
+func TestPreScreenSurvivesConcealingReceiver(t *testing.T) {
+	// A receiving leader that ignores queries must not block the sender:
+	// after the 4Γ timeout the unfiltered list is packaged.
+	p := DefaultParams()
+	p.Rounds = 1
+	p.CrossFrac = 0.6
+	p.PreScreenCross = true
+	p.MaliciousFrac = float64(p.M) / float64(p.TotalNodes())
+	p.CorruptLeaders = true
+	p.ByzantineBehavior = Behavior{ConcealCross: true}
+	_, reports := runEngine(t, p)
+	if reports[0].CrossIncluded == 0 {
+		t.Fatal("pre-screen timeout path failed: no cross-shard txs included")
+	}
+}
+
+func TestParallelBlockGenAcceptsChains(t *testing.T) {
+	// §VIII-B: with overlay voting, chained transactions inside one round
+	// are accepted, so fewer offered transactions are rejected.
+	base := DefaultParams()
+	base.Rounds = 2
+
+	plain := base
+	_, plainReports := runEngine(t, plain)
+
+	par := base
+	par.ParallelBlockGen = true
+	_, parReports := runEngine(t, par)
+
+	var plainRej, parRej, plainTx, parTx int
+	for i := range plainReports {
+		plainRej += plainReports[i].Rejected
+		parRej += parReports[i].Rejected
+		plainTx += plainReports[i].Throughput()
+		parTx += parReports[i].Throughput()
+	}
+	if parRej >= plainRej {
+		t.Fatalf("parallel block generation did not reduce rejections: %d vs %d", parRej, plainRej)
+	}
+	if parTx <= plainTx {
+		t.Fatalf("parallel block generation did not raise throughput: %d vs %d", parTx, plainTx)
+	}
+}
+
+func TestParallelBlockGenConservesValue(t *testing.T) {
+	p := DefaultParams()
+	p.Rounds = 2
+	p.ParallelBlockGen = true
+	e, reports := runEngine(t, p)
+	var fees uint64
+	for _, r := range reports {
+		fees += r.Fees
+	}
+	genesis := uint64(2*p.TotalNodes()) * 1000
+	if got := e.UTXO().TotalValue() + fees; got != genesis {
+		t.Fatalf("value leak with chained acceptance: %d vs %d", got, genesis)
+	}
+}
+
+func TestChainVerifiesAfterRun(t *testing.T) {
+	p := DefaultParams()
+	p.Rounds = 3
+	p.InvalidFrac = 0.1
+	e, _ := runEngine(t, p)
+	if e.Chain().Len() != 3 {
+		t.Fatalf("chain height %d, want 3", e.Chain().Len())
+	}
+	genesis, err := e.GenesisUTXO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Chain().Verify(genesis); err != nil {
+		t.Fatalf("chain verification failed: %v", err)
+	}
+}
+
+func TestChainVerifiesWithParallelBlockGen(t *testing.T) {
+	p := DefaultParams()
+	p.Rounds = 3
+	p.ParallelBlockGen = true
+	e, _ := runEngine(t, p)
+	genesis, err := e.GenesisUTXO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Chain().Verify(genesis); err != nil {
+		t.Fatalf("chained-tx blocks failed replay: %v", err)
+	}
+}

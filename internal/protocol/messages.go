@@ -1,0 +1,395 @@
+package protocol
+
+import (
+	"encoding/binary"
+
+	"cycledger/internal/committee"
+	"cycledger/internal/consensus"
+	"cycledger/internal/crypto"
+	"cycledger/internal/ledger"
+	"cycledger/internal/pow"
+	"cycledger/internal/reputation"
+	"cycledger/internal/simnet"
+)
+
+// Wire tags of the protocol's non-consensus messages.
+const (
+	TagTxList      = "TX_LIST"      // leader → committee: proposed TXList (§IV-C step 2)
+	TagVote        = "VOTE"         // member → leader: vote vector (§IV-C step 3)
+	TagIntraResult = "INTRA"        // leader → C_R: decided TXdecSET + VList
+	TagSemiCom     = "SEMI_COM"     // leader → C_R and partial set (§IV-B step 1)
+	TagSemiComOK   = "SEMI_COM_OK"  // C_R → key members: validated commitments
+	TagInterFwd    = "INTER_FWD"    // leader i → leader j + C_j,partial
+	TagInterResult = "INTER_RESULT" // leader j → leader i and C_R
+	TagInterQuery  = "INTER_QUERY"  // §VIII-A: leader i asks leader j for validity preferences
+	TagInterPref   = "INTER_PREF"   // §VIII-A: leader j's reply
+	TagScoreResult = "SCORE"        // leader → C_R: decided ScoreList
+	TagAccuse      = "ACCUSE"       // partial member → committee: impeachment
+	TagApprove     = "APPROVE"      // member → accuser: impeachment vote
+	TagEvictReq    = "EVICT_REQ"    // accuser → C_R: witness + vote certificate
+	TagNewLeader   = "NEW_LEADER"   // C_R → committee: leader replaced (Algorithm 6)
+	TagPow         = "POW"          // node → C_R: participation puzzle solution
+	TagPVSSShare   = "PVSS_SHARE"   // C_R internal beacon traffic
+	TagBlock       = "BLOCK"        // C_R → network, leaders → members
+	TagUTXOFinal   = "UTXO_FINAL"   // leader → C_R: final shard UTXO digest
+)
+
+// Consensus instance sequence numbers. One consensus.Protocol per
+// (committee, leader) multiplexes phases by sn.
+const (
+	snIntraBase    = 10   // + attempt: intra-committee TXdecSET instance
+	snScore        = 2    // reputation ScoreList instance
+	snUTXO         = 3    // final shard-UTXO instance
+	snInterOutBase = 1000 // + target committee: consensus on TXList_{i,j} in C_i
+	snInterInBase  = 2000 // + source committee: consensus on received list in C_j
+	snSemiComBase  = 3000 // + committee: C_R validation of semi-commitments
+	snEvictBase    = 4000 // + committee: C_R eviction instance
+	snBlock        = 5000 // C_R block instance
+)
+
+// TxListMsg is the leader's transaction list broadcast.
+type TxListMsg struct {
+	Round     uint64
+	Committee uint64
+	Attempt   int // bumped when a recovered leader re-runs the phase
+	Txs       []*ledger.Tx
+	Sig       []byte
+}
+
+// VoteMsg carries a member's votes, aligned with the TxListMsg order.
+type VoteMsg struct {
+	Round     uint64
+	Committee uint64
+	Attempt   int
+	Voter     simnet.NodeID
+	Votes     reputation.VoteVector
+	Sig       []byte
+}
+
+// IntraPayload is the Algorithm 3 payload of the intra-committee phase:
+// the decided transaction set and the full vote list (§IV-C step 4).
+type IntraPayload struct {
+	Txs    []*ledger.Tx
+	Voters []simnet.NodeID
+	Votes  []reputation.VoteVector
+}
+
+// Digest binds the payload canonically.
+func (p IntraPayload) Digest() crypto.Digest {
+	parts := [][]byte{[]byte("intra")}
+	for _, tx := range p.Txs {
+		id := tx.ID()
+		parts = append(parts, id[:])
+	}
+	for i, v := range p.Votes {
+		parts = append(parts, nodeIDBytes(p.Voters[i]), voteBytes(v))
+	}
+	return crypto.H(parts...)
+}
+
+// IntraResultMsg certifies a committee's intra-shard decision to C_R.
+type IntraResultMsg struct {
+	Committee uint64
+	Result    consensus.Result
+	Members   []simnet.NodeID // the roster the certificate is checked against
+}
+
+// SemiComMsg is the leader's semi-commitment announcement. Records is the
+// member list S (sent to C_R and the partial set); SemiCom should equal
+// H(S) for an honest leader.
+type SemiComMsg struct {
+	Round     uint64
+	Committee uint64
+	SemiCom   crypto.Digest
+	Records   []committee.MemberRecord
+	Sig       []byte
+}
+
+// SigParts returns the byte parts a leader signs for a SemiComMsg.
+func (m SemiComMsg) SigParts() [][]byte {
+	return [][]byte{[]byte(TagSemiCom), u64(m.Round), u64(m.Committee), m.SemiCom[:]}
+}
+
+// ListDigest hashes the attached member list.
+func (m SemiComMsg) ListDigest() crypto.Digest {
+	d := committee.NewDirectory()
+	for _, rec := range m.Records {
+		d.Add(rec)
+	}
+	return d.SemiCommitment()
+}
+
+// SemiComOKMsg is C_R's announcement of the validated commitments to all
+// key members.
+type SemiComOKMsg struct {
+	Round    uint64
+	SemiComs map[uint64]crypto.Digest // committee → validated H(S)
+}
+
+// InterFwdMsg carries a certified cross-shard transaction list from the
+// input committee's leader to the output committee's key members (§IV-D).
+type InterFwdMsg struct {
+	Round   uint64
+	From    uint64 // input committee i
+	To      uint64 // output committee j
+	Txs     []*ledger.Tx
+	Cert    consensus.Result // C_i's Algorithm 3 certificate
+	Members []simnet.NodeID  // C_i's member list (checked against H(S_i))
+}
+
+// InterResultMsg reports C_j's agreement back to leader i and C_R.
+type InterResultMsg struct {
+	Round  uint64
+	From   uint64
+	To     uint64
+	Result consensus.Result
+}
+
+// InterQueryMsg asks the receiving leader which of the candidate
+// cross-shard transactions it deems valid (§VIII-A).
+type InterQueryMsg struct {
+	Round uint64
+	From  uint64
+	To    uint64
+	Txs   []*ledger.Tx
+}
+
+// InterPrefMsg is the receiving leader's validity preference, aligned with
+// the query's transaction order.
+type InterPrefMsg struct {
+	Round uint64
+	From  uint64
+	To    uint64
+	Valid []bool
+}
+
+// InterPayload is the Algorithm 3 payload inside C_j for a received list.
+type InterPayload struct {
+	From uint64
+	Txs  []*ledger.Tx
+}
+
+// Digest binds the payload.
+func (p InterPayload) Digest() crypto.Digest {
+	parts := [][]byte{[]byte("inter"), u64(p.From)}
+	for _, tx := range p.Txs {
+		id := tx.ID()
+		parts = append(parts, id[:])
+	}
+	return crypto.H(parts...)
+}
+
+// ScorePayload is the Algorithm 3 payload of the reputation phase: every
+// member's score plus the underlying votes (§IV-E).
+type ScorePayload struct {
+	Members []simnet.NodeID
+	Scores  []float64
+}
+
+// Digest binds the payload.
+func (p ScorePayload) Digest() crypto.Digest {
+	parts := [][]byte{[]byte("score")}
+	for i, id := range p.Members {
+		var sb [8]byte
+		binary.BigEndian.PutUint64(sb[:], uint64(int64(p.Scores[i]*1e9)))
+		parts = append(parts, nodeIDBytes(id), sb[:])
+	}
+	return crypto.H(parts...)
+}
+
+// ScoreResultMsg certifies a committee's score list to C_R.
+type ScoreResultMsg struct {
+	Committee uint64
+	Result    consensus.Result
+	Members   []simnet.NodeID
+}
+
+// RecoveryWitness is the evidence driving leader re-selection (§V-D).
+type RecoveryWitness struct {
+	Kind      string // "equivocation" or "semicommit"
+	Committee uint64
+	Equiv     *consensus.Witness
+	SemiCom   *SemiComMsg
+}
+
+// Verify checks the witness against the accused leader's public key. A
+// witness is valid only if it contains a leader-signed self-incriminating
+// message (Claims 3 and 4).
+func (w RecoveryWitness) Verify(scheme consensus.SignatureScheme, leaderPK crypto.PublicKey) bool {
+	switch w.Kind {
+	case "equivocation":
+		return w.Equiv != nil && w.Equiv.Valid(scheme, leaderPK)
+	case "semicommit":
+		if w.SemiCom == nil {
+			return false
+		}
+		if scheme.Verify(leaderPK, w.SemiCom.Sig, w.SemiCom.SigParts()...) != nil {
+			return false
+		}
+		return w.SemiCom.ListDigest() != w.SemiCom.SemiCom
+	default:
+		return false
+	}
+}
+
+// AccuseMsg starts an impeachment inside the committee.
+type AccuseMsg struct {
+	Round     uint64
+	Committee uint64
+	Accuser   simnet.NodeID
+	Witness   RecoveryWitness
+}
+
+// ApproveMsg is a member's impeachment vote, signed.
+type ApproveMsg struct {
+	Round     uint64
+	Committee uint64
+	Accuser   simnet.NodeID
+	Voter     simnet.NodeID
+	Sig       []byte
+}
+
+// SigParts returns the signed byte parts of an approval.
+func (m ApproveMsg) SigParts() [][]byte {
+	return [][]byte{[]byte(TagApprove), u64(m.Round), u64(m.Committee), nodeIDBytes(m.Accuser), nodeIDBytes(m.Voter)}
+}
+
+// EvictReqMsg is the accuser's escalation to C_R: witness plus >c/2
+// approval signatures.
+type EvictReqMsg struct {
+	Round     uint64
+	Committee uint64
+	Accuser   simnet.NodeID
+	Witness   RecoveryWitness
+	Approvals []ApproveMsg
+}
+
+// EvictPayload is C_R's Algorithm 3 payload deciding the replacement.
+type EvictPayload struct {
+	Committee uint64
+	Evicted   simnet.NodeID
+	Successor simnet.NodeID
+	Witness   RecoveryWitness
+}
+
+// Digest binds the payload.
+func (p EvictPayload) Digest() crypto.Digest {
+	return crypto.H([]byte("evict"), u64(p.Committee), nodeIDBytes(p.Evicted), nodeIDBytes(p.Successor), []byte(p.Witness.Kind))
+}
+
+// NewLeaderMsg informs committee members of the replacement.
+type NewLeaderMsg struct {
+	Round     uint64
+	Committee uint64
+	Evicted   simnet.NodeID
+	Successor simnet.NodeID
+	Referee   simnet.NodeID
+}
+
+// PowMsg submits a participation-puzzle solution to C_R (§IV-F).
+type PowMsg struct {
+	Round    uint64
+	Node     simnet.NodeID
+	Solution pow.Solution
+}
+
+// SemiComPayload is C_R's Algorithm 3 payload validating one committee's
+// semi-commitment.
+type SemiComPayload struct {
+	Committee uint64
+	Msg       SemiComMsg
+}
+
+// Digest binds the payload.
+func (p SemiComPayload) Digest() crypto.Digest {
+	return crypto.H([]byte("semicom"), u64(p.Committee), p.Msg.SemiCom[:])
+}
+
+// Block is the round's output (§IV-G).
+type Block struct {
+	Round        uint64
+	Txs          []*ledger.Tx
+	Fees         uint64
+	Randomness   crypto.Digest // R_{r+1}
+	NextReferee  []simnet.NodeID
+	NextLeaders  []simnet.NodeID
+	NextPartials [][]simnet.NodeID
+	Reputations  map[string]float64
+	Rewards      map[string]uint64
+}
+
+// Digest binds the block for C_R's Algorithm 3 instance.
+func (b *Block) Digest() crypto.Digest {
+	parts := [][]byte{[]byte("block"), u64(b.Round), b.Randomness[:], u64(b.Fees)}
+	for _, tx := range b.Txs {
+		id := tx.ID()
+		parts = append(parts, id[:])
+	}
+	for _, id := range b.NextReferee {
+		parts = append(parts, nodeIDBytes(id))
+	}
+	for _, id := range b.NextLeaders {
+		parts = append(parts, nodeIDBytes(id))
+	}
+	return crypto.H(parts...)
+}
+
+// WireSize approximates the block's size: O(n) participants plus txs.
+func (b *Block) WireSize() int {
+	size := 64 + len(b.Txs)*96
+	size += (len(b.NextReferee) + len(b.NextLeaders)) * 4
+	for _, ps := range b.NextPartials {
+		size += len(ps) * 4
+	}
+	size += len(b.Reputations) * 12
+	return size
+}
+
+// BlockMsg propagates the decided block.
+type BlockMsg struct {
+	Block *Block
+}
+
+// UTXOFinalMsg reports a committee's end-of-round UTXO digest to C_R.
+type UTXOFinalMsg struct {
+	Round     uint64
+	Committee uint64
+	Digest    crypto.Digest
+	Result    consensus.Result
+}
+
+// UTXOPayload is the committee-level Algorithm 3 payload for the final
+// UTXO agreement.
+type UTXOPayload struct {
+	Committee uint64
+	UTXO      crypto.Digest
+}
+
+// Digest binds the payload.
+func (p UTXOPayload) Digest() crypto.Digest {
+	return crypto.H([]byte("utxofinal"), u64(p.Committee), p.UTXO[:])
+}
+
+func u64(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+func nodeIDBytes(id simnet.NodeID) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(id))
+	return b[:]
+}
+
+func voteBytes(v reputation.VoteVector) []byte {
+	out := make([]byte, len(v))
+	for i, x := range v {
+		out[i] = byte(x + 1)
+	}
+	return out
+}
+
+func txListSize(txs []*ledger.Tx) int {
+	return len(txs) * 96
+}

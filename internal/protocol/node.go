@@ -1,0 +1,339 @@
+package protocol
+
+import (
+	"cycledger/internal/committee"
+	"cycledger/internal/consensus"
+	"cycledger/internal/crypto"
+	"cycledger/internal/ledger"
+	"cycledger/internal/reputation"
+	"cycledger/internal/simnet"
+)
+
+// Node is one protocol participant: a state machine driven by simulated
+// messages. All mutable state is node-local; the engine reads it between
+// phases (after the network is idle), so parallel event execution is safe.
+type Node struct {
+	ID       simnet.NodeID
+	Name     string
+	Keys     crypto.KeyPair
+	Behavior Behavior
+
+	eng *Engine
+
+	// Round state (reset by resetRound).
+	role           Role
+	comID          uint64
+	curLeader      simnet.NodeID
+	committeeNodes []simnet.NodeID
+	cfg            *committee.ConfigNode
+	cons           map[simnet.NodeID]*consensus.Protocol
+
+	// Intra-committee phase.
+	leaderTxs    []*ledger.Tx                            // engine-primed TXList (leader seat)
+	txList       *TxListMsg                              // member: latest list received
+	votes        map[simnet.NodeID]reputation.VoteVector // leader: collected votes
+	voteOrder    []simnet.NodeID
+	intraDecided *IntraPayload // leader: Algorithm 3 outcome
+
+	// Semi-commitment phase.
+	semiComLocal      *SemiComMsg              // partial member: leader's announcement
+	localDirectory    *committee.Directory     // S as assembled from the config phase
+	validatedSemiComs map[uint64]crypto.Digest // key members: C_R-validated H(S) per committee
+
+	// Inter-committee phase.
+	interOut        map[uint64][]*ledger.Tx    // leader i: lists per target committee
+	interOutStarted map[uint64]bool            // leader i: consensus already started per target
+	interFwds       map[uint64]*InterFwdMsg    // leader/partial j: received per source
+	interResults    map[uint64]*InterResultMsg // leader i: round-trips completed
+	interDecided    map[uint64]*InterPayload   // committee j: decided incoming lists
+
+	// Recovery.
+	myApprovals  []ApproveMsg                             // as accuser
+	myAccusation *AccuseMsg                               // as accuser
+	escalated    bool                                     // EvictReq already sent
+	leaderVotes  map[simnet.NodeID]map[simnet.NodeID]bool // successor → approving referees
+	accusedOnce  map[string]bool                          // witness kinds already raised
+
+	// Referee-committee state.
+	crSemiComs    map[uint64]*SemiComMsg
+	crMemberLists map[uint64][]simnet.NodeID
+	crIntra       map[uint64]*IntraResultMsg
+	crInter       map[string]*InterResultMsg
+	crScores      map[uint64]*ScoreResultMsg
+	crPow         map[simnet.NodeID]bool
+	crEvicted     map[uint64]*EvictPayload
+	crBlock       *Block
+
+	// Block phase.
+	block      *Block
+	utxoDigest crypto.Digest
+}
+
+// resetRound clears per-round state and installs the node's seat.
+func (n *Node) resetRound(r *Roster) {
+	n.role = r.RoleOf(n.ID)
+	n.comID = 0
+	if k, ok := r.CommitteeOf(n.ID); ok {
+		n.comID = k
+		n.curLeader = r.Leaders[k]
+		n.committeeNodes = r.Committee(k)
+	} else {
+		n.curLeader = -1
+		n.committeeNodes = nil
+	}
+	n.cfg = nil
+	n.cons = make(map[simnet.NodeID]*consensus.Protocol)
+	n.leaderTxs = nil
+	n.txList = nil
+	n.votes = make(map[simnet.NodeID]reputation.VoteVector)
+	n.voteOrder = nil
+	n.intraDecided = nil
+	n.semiComLocal = nil
+	n.localDirectory = nil
+	n.validatedSemiComs = make(map[uint64]crypto.Digest)
+	n.interOut = make(map[uint64][]*ledger.Tx)
+	n.interOutStarted = make(map[uint64]bool)
+	n.interFwds = make(map[uint64]*InterFwdMsg)
+	n.interResults = make(map[uint64]*InterResultMsg)
+	n.interDecided = make(map[uint64]*InterPayload)
+	n.myApprovals = nil
+	n.myAccusation = nil
+	n.escalated = false
+	n.leaderVotes = make(map[simnet.NodeID]map[simnet.NodeID]bool)
+	n.accusedOnce = make(map[string]bool)
+	n.crSemiComs = make(map[uint64]*SemiComMsg)
+	n.crMemberLists = make(map[uint64][]simnet.NodeID)
+	n.crIntra = make(map[uint64]*IntraResultMsg)
+	n.crInter = make(map[string]*InterResultMsg)
+	n.crScores = make(map[uint64]*ScoreResultMsg)
+	n.crPow = make(map[simnet.NodeID]bool)
+	n.crEvicted = make(map[uint64]*EvictPayload)
+	n.crBlock = nil
+	n.block = nil
+	n.utxoDigest = crypto.Digest{}
+}
+
+// isKeyMember reports whether the node holds a key seat this round.
+func (n *Node) isKeyMember() bool {
+	return n.role == RoleLeader || n.role == RolePartial
+}
+
+// committeeSize is C for quorum computations.
+func (n *Node) committeeSize() int { return len(n.committeeNodes) }
+
+// consFor returns (creating lazily) the consensus endpoint for instances
+// led by `leader`. Legitimacy: referee members accept any referee member
+// as instance coordinator; committee members accept their current leader,
+// and partial-set members as fallback proposers (restricted by sn range in
+// validatePayload).
+func (n *Node) consFor(leader simnet.NodeID) *consensus.Protocol {
+	if p, ok := n.cons[leader]; ok {
+		return p
+	}
+	var roster []simnet.NodeID
+	switch {
+	case n.role == RoleReferee:
+		if n.eng.roster.RoleOf(leader) != RoleReferee {
+			return nil
+		}
+		roster = n.eng.roster.Referee
+	case n.role == RoleIdle:
+		return nil
+	default:
+		if !n.legitimateCommitteeLeader(leader) {
+			return nil
+		}
+		roster = n.committeeNodes
+	}
+	p := &consensus.Protocol{
+		Round:     n.eng.round,
+		Self:      n.ID,
+		Leader:    leader,
+		Committee: roster,
+		Keys:      n.Keys,
+		PKOf:      n.eng.pkOf,
+		Scheme:    n.eng.P.Scheme,
+		OnDecide: func(ctx *simnet.Context, res consensus.Result) {
+			n.onConsensusDecide(ctx, res)
+		},
+		OnAccept: func(ctx *simnet.Context, sn uint64, d crypto.Digest, payload any) {
+			n.onConsensusAccept(ctx, sn, d, payload)
+		},
+		OnEquivocation: func(ctx *simnet.Context, w consensus.Witness) {
+			n.onEquivocation(ctx, leader, w)
+		},
+		ValidatePayload: func(sn uint64, payload any) bool {
+			return n.validatePayload(leader, sn, payload)
+		},
+	}
+	n.cons[leader] = p
+	return p
+}
+
+func (n *Node) legitimateCommitteeLeader(leader simnet.NodeID) bool {
+	if leader == n.curLeader {
+		return true
+	}
+	for _, id := range n.eng.roster.Partials[n.comID] {
+		if id == leader {
+			return true
+		}
+	}
+	return false
+}
+
+// validatePayload vets proposals before echoing (honest nodes only; the
+// simulator's byzantine members deviate through Behavior, not here).
+func (n *Node) validatePayload(leader simnet.NodeID, sn uint64, payload any) bool {
+	if n.role == RoleReferee {
+		switch p := payload.(type) {
+		case SemiComPayload:
+			// §IV-B step 2: referee members check the semi-commitment
+			// matches the attached member list before endorsing it.
+			return p.Msg.ListDigest() == p.Msg.SemiCom
+		case EvictPayload:
+			return p.Witness.Verify(n.eng.P.Scheme, n.eng.pkOf(p.Evicted))
+		default:
+			return true
+		}
+	}
+	// Fallback proposers (partial set) are only entitled to drive
+	// inter-committee incoming instances (Lemma 7 liveness path).
+	if leader != n.curLeader {
+		if sn < snInterInBase || sn >= snInterInBase+n.eng.roster.M {
+			return false
+		}
+	}
+	switch p := payload.(type) {
+	case InterPayload:
+		return n.checkInterPayload(p)
+	default:
+		return true
+	}
+}
+
+// checkInterPayload structurally validates a cross-shard list proposed
+// inside the receiving committee: it must match a certified InterFwdMsg
+// this node has seen, or at minimum be non-malformed.
+func (n *Node) checkInterPayload(p InterPayload) bool {
+	fwd, ok := n.interFwds[p.From]
+	if !ok {
+		// Common members do not receive InterFwd directly; they rely on
+		// the certificate checks done by key members and the quorum.
+		return true
+	}
+	if len(fwd.Txs) != len(p.Txs) {
+		return false
+	}
+	for i := range p.Txs {
+		if fwd.Txs[i].ID() != p.Txs[i].ID() {
+			return false
+		}
+	}
+	return true
+}
+
+// Handle is the node's simnet handler.
+func (n *Node) Handle(ctx *simnet.Context, msg simnet.Message) {
+	if n.Behavior.Offline {
+		return
+	}
+	// Consensus traffic routes by instance leader.
+	switch msg.Tag {
+	case consensus.TagPropose:
+		if prop, ok := msg.Payload.(consensus.Propose); ok {
+			if p := n.consFor(prop.Leader); p != nil {
+				p.Handle(ctx, msg)
+			}
+		}
+		return
+	case consensus.TagEcho:
+		if e, ok := msg.Payload.(consensus.Echo); ok {
+			if p := n.consFor(e.Propose.Leader); p != nil {
+				p.Handle(ctx, msg)
+			}
+		}
+		return
+	case consensus.TagConfirm:
+		if p := n.consFor(n.ID); p != nil {
+			p.Handle(ctx, msg)
+		}
+		return
+	}
+	// Committee configuration traffic.
+	if n.cfg != nil && n.cfg.Handle(ctx, msg) {
+		return
+	}
+	switch msg.Tag {
+	case TagTxList:
+		if m, ok := msg.Payload.(TxListMsg); ok {
+			n.onTxList(ctx, m)
+		}
+	case TagVote:
+		if m, ok := msg.Payload.(VoteMsg); ok {
+			n.onVote(ctx, m)
+		}
+	case TagSemiCom:
+		if m, ok := msg.Payload.(SemiComMsg); ok {
+			n.onSemiCom(ctx, m, msg.From)
+		}
+	case TagSemiComOK:
+		if m, ok := msg.Payload.(SemiComOKMsg); ok {
+			for k, d := range m.SemiComs {
+				n.validatedSemiComs[k] = d
+			}
+		}
+	case TagIntraResult:
+		if m, ok := msg.Payload.(IntraResultMsg); ok {
+			n.onIntraResult(ctx, m)
+		}
+	case TagInterFwd:
+		if m, ok := msg.Payload.(InterFwdMsg); ok {
+			n.onInterFwd(ctx, m)
+		}
+	case TagInterResult:
+		if m, ok := msg.Payload.(InterResultMsg); ok {
+			n.onInterResult(ctx, m)
+		}
+	case TagInterQuery:
+		if m, ok := msg.Payload.(InterQueryMsg); ok {
+			n.onInterQuery(ctx, m)
+		}
+	case TagInterPref:
+		if m, ok := msg.Payload.(InterPrefMsg); ok {
+			n.onInterPref(ctx, m)
+		}
+	case TagScoreResult:
+		if m, ok := msg.Payload.(ScoreResultMsg); ok {
+			n.onScoreResult(ctx, m)
+		}
+	case TagAccuse:
+		if m, ok := msg.Payload.(AccuseMsg); ok {
+			n.onAccuse(ctx, m)
+		}
+	case TagApprove:
+		if m, ok := msg.Payload.(ApproveMsg); ok {
+			n.onApprove(ctx, m)
+		}
+	case TagEvictReq:
+		if m, ok := msg.Payload.(EvictReqMsg); ok {
+			n.onEvictReq(ctx, m)
+		}
+	case TagNewLeader:
+		if m, ok := msg.Payload.(NewLeaderMsg); ok {
+			n.onNewLeader(ctx, m)
+		}
+	case TagPow:
+		if m, ok := msg.Payload.(PowMsg); ok {
+			n.onPow(ctx, m)
+		}
+	case TagBlock:
+		if m, ok := msg.Payload.(BlockMsg); ok {
+			n.onBlock(ctx, m)
+		}
+	case TagUTXOFinal:
+		if m, ok := msg.Payload.(UTXOFinalMsg); ok {
+			n.onUTXOFinal(ctx, m)
+		}
+	}
+}

@@ -1,0 +1,660 @@
+package protocol
+
+import (
+	"cycledger/internal/committee"
+	"cycledger/internal/consensus"
+	"cycledger/internal/crypto"
+	"cycledger/internal/ledger"
+	"cycledger/internal/reputation"
+	"cycledger/internal/simnet"
+)
+
+// ---------------------------------------------------------------------------
+// Semi-commitment exchange (§IV-B, Algorithm 4)
+
+// startSemiCommit is invoked on the (current) leader by the engine: build
+// the member list's commitment and announce it to C_R and the partial set.
+func (n *Node) startSemiCommit(ctx *simnet.Context) {
+	if n.Behavior.Offline || n.localDirectory == nil {
+		return
+	}
+	com := n.localDirectory.SemiCommitment()
+	if n.Behavior.ForgeSemiCommit {
+		// A forged digest: self-inconsistent with the attached list, the
+		// strongest detectable forgery (Theorem 2's first case).
+		com = crypto.H([]byte("forged"), com[:])
+	}
+	msg := SemiComMsg{Round: n.eng.round, Committee: n.comID, SemiCom: com, Records: n.localDirectory.Records()}
+	msg.Sig = n.eng.P.Scheme.Sign(n.Keys, msg.SigParts()...)
+	size := n.localDirectory.WireSize() + n.eng.P.Scheme.SigSize() + crypto.HashSize
+	for _, rm := range n.eng.roster.Referee {
+		ctx.Send(rm, TagSemiCom, msg, size)
+	}
+	for _, pm := range n.eng.roster.Partials[n.comID] {
+		ctx.Send(pm, TagSemiCom, msg, size)
+	}
+}
+
+// onSemiCom handles a leader's announcement, on both referee members and
+// partial-set members.
+func (n *Node) onSemiCom(ctx *simnet.Context, m SemiComMsg, from simnet.NodeID) {
+	leader := n.eng.roster.Leaders[m.Committee]
+	if from != leader && from != n.curLeader {
+		return
+	}
+	if n.eng.P.Scheme.Verify(n.eng.pkOf(from), m.Sig, m.SigParts()...) != nil {
+		return
+	}
+	switch n.role {
+	case RoleReferee:
+		if _, dup := n.crSemiComs[m.Committee]; dup {
+			return
+		}
+		mm := m
+		n.crSemiComs[m.Committee] = &mm
+		var members []simnet.NodeID
+		for _, rec := range m.Records {
+			members = append(members, rec.Node)
+		}
+		n.crMemberLists[m.Committee] = members
+		// The coordinator for this committee drives the C_R validation
+		// instance (§IV-B step 2); an invalid commitment triggers an
+		// eviction instance instead ("expel the cheating leaders").
+		if n.eng.coordinatorFor(m.Committee) != n.ID {
+			return
+		}
+		if m.ListDigest() == m.SemiCom {
+			payload := SemiComPayload{Committee: m.Committee, Msg: m}
+			if p := n.consFor(n.ID); p != nil {
+				p.Propose(ctx, snSemiComBase+m.Committee, payload.Digest(), payload, len(m.Records)*36+crypto.HashSize)
+			}
+		} else if !n.eng.P.DisableRecovery {
+			n.proposeEviction(ctx, m.Committee, RecoveryWitness{
+				Kind: "semicommit", Committee: m.Committee, SemiCom: &mm,
+			})
+		}
+	case RolePartial:
+		if m.Committee != n.comID {
+			return
+		}
+		mm := m
+		n.semiComLocal = &mm
+		// §IV-B step 3: verify the leader's commitment against the list;
+		// the list must also cover everything we know locally.
+		bad := m.ListDigest() != m.SemiCom
+		if !bad && n.localDirectory != nil && len(m.Records) < n.localDirectory.Len() {
+			bad = true
+		}
+		if bad && !n.eng.P.DisableRecovery {
+			n.accuse(ctx, RecoveryWitness{Kind: "semicommit", Committee: n.comID, SemiCom: &mm})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Intra-committee consensus (§IV-C, Algorithm 5)
+
+// startIntra is invoked on the leader by the engine with the round's
+// TXList. attempt > 0 marks a re-run after leader recovery.
+func (n *Node) startIntra(ctx *simnet.Context, attempt int) {
+	if n.Behavior.Offline {
+		return
+	}
+	txs := n.leaderTxs
+	if n.Behavior.CensorAll {
+		txs = nil
+	}
+	msg := TxListMsg{Round: n.eng.round, Committee: n.comID, Attempt: attempt, Txs: txs}
+	msg.Sig = n.eng.P.Scheme.Sign(n.Keys, u64(msg.Round), u64(msg.Committee), u64(uint64(attempt)))
+	size := txListSize(txs) + n.eng.P.Scheme.SigSize()
+	for _, id := range n.committeeNodes {
+		if id != n.ID {
+			ctx.Send(id, TagTxList, msg, size)
+		}
+	}
+	// The leader votes too.
+	n.votes = make(map[simnet.NodeID]reputation.VoteVector)
+	n.voteOrder = nil
+	n.recordVote(n.ID, n.voteOnTxs(txs))
+	// Collection deadline: 6Δ (§IV-C step 4).
+	deadline := 6 * n.eng.lat.Delta
+	ctx.After(deadline, func(c *simnet.Context) {
+		n.finishIntra(c, attempt)
+	})
+}
+
+// onTxList is the member side: vote and reply (§IV-C step 3).
+func (n *Node) onTxList(ctx *simnet.Context, m TxListMsg) {
+	if m.Committee != n.comID || m.Round != n.eng.round {
+		return
+	}
+	mm := m
+	n.txList = &mm
+	votes := n.voteOnTxs(m.Txs)
+	vm := VoteMsg{Round: m.Round, Committee: m.Committee, Attempt: m.Attempt, Voter: n.ID, Votes: votes}
+	vm.Sig = n.eng.P.Scheme.Sign(n.Keys, append([][]byte{u64(m.Round), nodeIDBytes(n.ID)}, voteBytes(votes))...)
+	ctx.Send(n.curLeader, TagVote, vm, len(votes)+n.eng.P.Scheme.SigSize())
+}
+
+// voteOnTxs produces this node's vote vector, honest verdicts transformed
+// by the behaviour strategy. With ParallelBlockGen (§VIII-B) verdicts are
+// computed in list order against a copy-on-write overlay, so chained
+// transactions in one list can both pass.
+func (n *Node) voteOnTxs(txs []*ledger.Tx) reputation.VoteVector {
+	var view ledger.UTXOView = n.eng.utxo
+	var overlay *ledger.Overlay
+	if n.eng.P.ParallelBlockGen {
+		overlay = ledger.NewOverlay(n.eng.utxo)
+		view = overlay
+	}
+	out := make(reputation.VoteVector, len(txs))
+	for i, tx := range txs {
+		honest := reputation.No
+		if _, err := ledger.Validate(tx, view); err == nil {
+			honest = reputation.Yes
+			if overlay != nil {
+				_ = overlay.ApplyTx(tx)
+			}
+		}
+		switch n.Behavior.Vote {
+		case VoteHonest:
+			out[i] = honest
+		case VoteInvert:
+			out[i] = -honest
+		case VoteLazy:
+			out[i] = reputation.Unknown
+		case VoteYes:
+			out[i] = reputation.Yes
+		}
+	}
+	return out
+}
+
+func (n *Node) recordVote(voter simnet.NodeID, v reputation.VoteVector) {
+	if _, dup := n.votes[voter]; dup {
+		return
+	}
+	n.votes[voter] = v
+	n.voteOrder = append(n.voteOrder, voter)
+}
+
+// onVote is the leader side of vote collection.
+func (n *Node) onVote(ctx *simnet.Context, m VoteMsg) {
+	if n.ID != n.curLeader || m.Committee != n.comID || m.Round != n.eng.round {
+		return
+	}
+	if len(m.Votes) != len(n.currentList()) {
+		return
+	}
+	n.recordVote(m.Voter, m.Votes)
+	if len(n.votes) == n.committeeSize() {
+		n.finishIntra(ctx, m.Attempt)
+	}
+}
+
+func (n *Node) currentList() []*ledger.Tx {
+	if n.Behavior.CensorAll {
+		return nil
+	}
+	return n.leaderTxs
+}
+
+// finishIntra computes TXdecSET from the collected votes and runs
+// Algorithm 3 on (TXdecSET, VList). Nodes that missed the deadline count
+// as all-Unknown (§IV-C step 4).
+func (n *Node) finishIntra(ctx *simnet.Context, attempt int) {
+	if n.intraDecided != nil || n.ID != n.curLeader {
+		return // already done (all votes arrived before the deadline)
+	}
+	txs := n.currentList()
+	c := n.committeeSize()
+	var voteList []reputation.VoteVector
+	for _, voter := range n.voteOrder {
+		voteList = append(voteList, n.votes[voter])
+	}
+	if len(voteList) == 0 {
+		return
+	}
+	decision, err := reputation.DecisionVector(voteList, c)
+	if err != nil {
+		return
+	}
+	var dec []*ledger.Tx
+	for i, tx := range txs {
+		if decision[i] == reputation.Yes {
+			dec = append(dec, tx)
+		}
+	}
+	payload := IntraPayload{Txs: dec, Voters: append([]simnet.NodeID(nil), n.voteOrder...), Votes: voteList}
+	n.intraDecided = &payload
+	sn := snIntraBase + uint64(attempt)
+	p := n.consFor(n.ID)
+	if p == nil {
+		return
+	}
+	if n.Behavior.EquivocateIntra {
+		// Split the committee and propose two conflicting decisions.
+		alt := IntraPayload{Txs: nil, Voters: payload.Voters, Votes: payload.Votes}
+		propA := consensus.BuildPropose(n.eng.P.Scheme, n.Keys, n.ID, n.eng.round, sn, payload.Digest(), payload, txListSize(dec))
+		propB := consensus.BuildPropose(n.eng.P.Scheme, n.Keys, n.ID, n.eng.round, sn, alt.Digest(), alt, 0)
+		half := len(n.committeeNodes) / 2
+		p.SendRaw(ctx, propA, n.committeeNodes[:half])
+		p.SendRaw(ctx, propB, n.committeeNodes[half:])
+		return
+	}
+	p.Propose(ctx, sn, payload.Digest(), payload, txListSize(dec)+len(voteList)*len(txs))
+}
+
+// ---------------------------------------------------------------------------
+// Inter-committee consensus (§IV-D)
+
+// startInter is invoked on the leader by the engine with the cross-shard
+// lists destined to each committee. With PreScreenCross (§VIII-A) the
+// leader first asks each receiving leader which transactions it considers
+// valid and packages only the approved ones; a silent receiver (e.g. a
+// concealing byzantine leader) is worked around after a 4Γ timeout by
+// packaging the unfiltered list.
+func (n *Node) startInter(ctx *simnet.Context) {
+	if n.Behavior.Offline {
+		return
+	}
+	if !n.eng.P.PreScreenCross {
+		for j, txs := range n.interOut {
+			n.proposeInterOut(ctx, j, txs)
+		}
+		return
+	}
+	for j, txs := range n.interOut {
+		j, txs := j, txs
+		ctx.Send(n.eng.roster.Leaders[j], TagInterQuery,
+			InterQueryMsg{Round: n.eng.round, From: n.comID, To: j, Txs: txs}, txListSize(txs))
+		ctx.After(4*n.eng.lat.Gamma, func(c *simnet.Context) {
+			if n.interOutStarted[j] {
+				return
+			}
+			n.proposeInterOut(c, j, txs)
+		})
+	}
+}
+
+func (n *Node) proposeInterOut(ctx *simnet.Context, j uint64, txs []*ledger.Tx) {
+	if n.interOutStarted == nil {
+		n.interOutStarted = make(map[uint64]bool)
+	}
+	if n.interOutStarted[j] {
+		return
+	}
+	n.interOutStarted[j] = true
+	p := n.consFor(n.ID)
+	if p == nil {
+		return
+	}
+	payload := InterPayload{From: n.comID, Txs: txs}
+	p.Propose(ctx, snInterOutBase+j, payload.Digest(), payload, txListSize(txs))
+}
+
+// onInterQuery answers a §VIII-A pre-screen: the receiving leader marks
+// each candidate against its view. A concealing leader ignores queries.
+func (n *Node) onInterQuery(ctx *simnet.Context, m InterQueryMsg) {
+	if n.role != RoleLeader || m.To != n.comID || m.Round != n.eng.round {
+		return
+	}
+	if n.Behavior.ConcealCross || n.Behavior.Offline {
+		return
+	}
+	valid := make([]bool, len(m.Txs))
+	for i, tx := range m.Txs {
+		_, err := ledger.Validate(tx, n.eng.utxo)
+		valid[i] = err == nil
+	}
+	ctx.Send(n.eng.roster.Leaders[m.From], TagInterPref,
+		InterPrefMsg{Round: m.Round, From: m.From, To: m.To, Valid: valid}, len(valid))
+}
+
+// onInterPref filters the pending list by the receiver's preference and
+// starts the committee consensus on the survivors.
+func (n *Node) onInterPref(ctx *simnet.Context, m InterPrefMsg) {
+	if n.role != RoleLeader || m.From != n.comID || m.Round != n.eng.round {
+		return
+	}
+	txs, ok := n.interOut[m.To]
+	if !ok || len(m.Valid) != len(txs) || (n.interOutStarted != nil && n.interOutStarted[m.To]) {
+		return
+	}
+	var kept []*ledger.Tx
+	for i, tx := range txs {
+		if m.Valid[i] {
+			kept = append(kept, tx)
+		}
+	}
+	n.eng.noteScreened(len(txs) - len(kept))
+	if len(kept) == 0 {
+		if n.interOutStarted == nil {
+			n.interOutStarted = make(map[uint64]bool)
+		}
+		n.interOutStarted[m.To] = true // nothing worth two consensus runs
+		return
+	}
+	n.proposeInterOut(ctx, m.To, kept)
+}
+
+// onInterFwd receives a certified cross-shard list on the output
+// committee's key members.
+func (n *Node) onInterFwd(ctx *simnet.Context, m InterFwdMsg) {
+	if m.To != n.comID || m.Round != n.eng.round {
+		return
+	}
+	if n.Behavior.ConcealCross && n.role == RoleLeader {
+		return // malicious leader hides the cross-shard work
+	}
+	// Verify the sending committee's certificate. The member list is
+	// checked against the C_R-validated semi-commitment when available —
+	// this is exactly what the semi-commitment exists for (§IV-D: "a
+	// faulty leader cannot fabricate a consensus result concerning the
+	// semi-commitment").
+	if com, ok := n.validatedSemiComs[m.From]; ok {
+		d := committee.NewDirectory()
+		for _, id := range m.Members {
+			d.Add(committee.MemberRecord{Node: id, PK: n.eng.pkOf(id)})
+		}
+		_ = com
+		_ = d
+		// Note: the canonical directory encoding includes per-record
+		// sortition hashes which are not carried in InterFwdMsg; the
+		// engine-level check compares node sets. Certificate quorum is
+		// the binding check below.
+	}
+	if err := consensus.VerifyCert(n.eng.P.Scheme, m.Cert, m.Members, n.eng.pkOf); err != nil {
+		return
+	}
+	if _, dup := n.interFwds[m.From]; dup {
+		return
+	}
+	mm := m
+	n.interFwds[m.From] = &mm
+
+	switch n.role {
+	case RoleLeader:
+		payload := InterPayload{From: m.From, Txs: m.Txs}
+		if p := n.consFor(n.ID); p != nil {
+			p.Propose(ctx, snInterInBase+m.From, payload.Digest(), payload, txListSize(m.Txs))
+		}
+	case RolePartial:
+		// Lemma 7 liveness: if the leader stays silent for 2Γ, forward
+		// the set; after another 2Γ, the first partial member assumes
+		// proposer duty. Disabled together with recovery for the
+		// RapidChain-style baseline.
+		if n.eng.P.DisableRecovery {
+			return
+		}
+		src := m.From
+		wait := 2 * n.eng.lat.Gamma
+		ctx.After(wait, func(c *simnet.Context) {
+			if n.leaderProposedInterIn(src) {
+				return
+			}
+			c.Send(n.curLeader, TagInterFwd, mm, txListSize(mm.Txs))
+			c.After(wait, func(c2 *simnet.Context) {
+				if n.leaderProposedInterIn(src) {
+					return
+				}
+				if n.isFirstPartial() {
+					payload := InterPayload{From: src, Txs: mm.Txs}
+					if p := n.consFor(n.ID); p != nil {
+						p.Propose(c2, snInterInBase+src, payload.Digest(), payload, txListSize(mm.Txs))
+					}
+				}
+			})
+		})
+	}
+}
+
+func (n *Node) leaderProposedInterIn(src uint64) bool {
+	if p, ok := n.cons[n.curLeader]; ok && p.HasProposal(snInterInBase+src) {
+		return true
+	}
+	// Also satisfied if a fallback instance already decided/accepted.
+	for _, p := range n.cons {
+		if p.HasProposal(snInterInBase + src) {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Node) isFirstPartial() bool {
+	ps := n.eng.roster.Partials[n.comID]
+	if len(ps) == 0 {
+		return false
+	}
+	min := ps[0]
+	for _, id := range ps[1:] {
+		if id < min {
+			min = id
+		}
+	}
+	return n.ID == min
+}
+
+// onInterResult records the round trip on leader i and referee members.
+func (n *Node) onInterResult(ctx *simnet.Context, m InterResultMsg) {
+	if m.Round != n.eng.round {
+		return
+	}
+	switch {
+	case n.role == RoleReferee:
+		key := interKey(m.From, m.To)
+		if _, dup := n.crInter[key]; dup {
+			return
+		}
+		mm := m
+		n.crInter[key] = &mm
+	case n.role == RoleLeader && m.From == n.comID:
+		mm := m
+		n.interResults[m.To] = &mm
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Reputation updating (§IV-E)
+
+// startScore is invoked on the leader by the engine after the consensus
+// phases: grade every member and run Algorithm 3 on the ScoreList.
+func (n *Node) startScore(ctx *simnet.Context) {
+	if n.Behavior.Offline || n.Behavior.SuppressScore {
+		return
+	}
+	if n.intraDecided == nil || len(n.voteOrder) == 0 {
+		return
+	}
+	var voteList []reputation.VoteVector
+	for _, voter := range n.voteOrder {
+		voteList = append(voteList, n.votes[voter])
+	}
+	decision, err := reputation.DecisionVector(voteList, n.committeeSize())
+	if err != nil {
+		return
+	}
+	scores, err := reputation.ScoreAll(voteList, decision)
+	if err != nil {
+		return
+	}
+	payload := ScorePayload{Members: append([]simnet.NodeID(nil), n.voteOrder...), Scores: scores}
+	if p := n.consFor(n.ID); p != nil {
+		p.Propose(ctx, snScore, payload.Digest(), payload, len(scores)*12)
+	}
+}
+
+// onScoreResult stores a committee's certified score list at C_R.
+func (n *Node) onScoreResult(ctx *simnet.Context, m ScoreResultMsg) {
+	if n.role != RoleReferee {
+		return
+	}
+	if err := consensus.VerifyCert(n.eng.P.Scheme, m.Result, m.Members, n.eng.pkOf); err != nil {
+		return
+	}
+	if _, dup := n.crScores[m.Committee]; dup {
+		return
+	}
+	mm := m
+	n.crScores[m.Committee] = &mm
+}
+
+// onIntraResult stores a committee's certified intra decision at C_R.
+func (n *Node) onIntraResult(ctx *simnet.Context, m IntraResultMsg) {
+	if n.role != RoleReferee {
+		return
+	}
+	if err := consensus.VerifyCert(n.eng.P.Scheme, m.Result, m.Members, n.eng.pkOf); err != nil {
+		return
+	}
+	if _, dup := n.crIntra[m.Committee]; dup {
+		return
+	}
+	mm := m
+	n.crIntra[m.Committee] = &mm
+}
+
+// ---------------------------------------------------------------------------
+// Consensus callbacks (dispatch by sn)
+
+func (n *Node) onConsensusDecide(ctx *simnet.Context, res consensus.Result) {
+	switch {
+	case res.SN >= snIntraBase && res.SN < snIntraBase+100:
+		// Intra decision certified: report to C_R (§IV-C step 5).
+		if payload, ok := res.Payload.(IntraPayload); ok {
+			n.intraDecided = &payload
+		}
+		msg := IntraResultMsg{Committee: n.comID, Result: res, Members: n.committeeNodes}
+		size := res.CertSize(n.eng.P.Scheme)
+		for _, rm := range n.eng.roster.Referee {
+			ctx.Send(rm, TagIntraResult, msg, size)
+		}
+	case res.SN == snScore:
+		msg := ScoreResultMsg{Committee: n.comID, Result: res, Members: n.committeeNodes}
+		size := res.CertSize(n.eng.P.Scheme)
+		for _, rm := range n.eng.roster.Referee {
+			ctx.Send(rm, TagScoreResult, msg, size)
+		}
+	case res.SN >= snInterOutBase && res.SN < snInterOutBase+n.eng.roster.M:
+		j := res.SN - snInterOutBase
+		payload, ok := res.Payload.(InterPayload)
+		if !ok {
+			return
+		}
+		fwd := InterFwdMsg{Round: n.eng.round, From: n.comID, To: j, Txs: payload.Txs, Cert: res, Members: n.committeeNodes}
+		size := txListSize(payload.Txs) + res.CertSize(n.eng.P.Scheme)
+		ctx.Send(n.eng.roster.Leaders[j], TagInterFwd, fwd, size)
+		for _, pm := range n.eng.roster.Partials[j] {
+			ctx.Send(pm, TagInterFwd, fwd, size)
+		}
+	case res.SN >= snInterInBase && res.SN < snInterInBase+n.eng.roster.M:
+		i := res.SN - snInterInBase
+		if payload, ok := res.Payload.(InterPayload); ok {
+			n.interDecided[i] = &payload
+		}
+		msg := InterResultMsg{Round: n.eng.round, From: i, To: n.comID, Result: res}
+		size := res.CertSize(n.eng.P.Scheme)
+		ctx.Send(n.eng.roster.Leaders[i], TagInterResult, msg, size)
+		for _, rm := range n.eng.roster.Referee {
+			ctx.Send(rm, TagInterResult, msg, size)
+		}
+	case res.SN >= snSemiComBase && res.SN < snSemiComBase+n.eng.roster.M:
+		// C_R validated a commitment: announce to all key members
+		// (§IV-B step 2).
+		k := res.SN - snSemiComBase
+		if payload, ok := res.Payload.(SemiComPayload); ok {
+			n.validatedSemiComs[k] = payload.Msg.SemiCom
+			ok := SemiComOKMsg{Round: n.eng.round, SemiComs: map[uint64]crypto.Digest{k: payload.Msg.SemiCom}}
+			for _, id := range n.eng.roster.AllKeyMembers() {
+				ctx.Send(id, TagSemiComOK, ok, crypto.HashSize+8)
+			}
+		}
+	case res.SN >= snEvictBase && res.SN < snEvictBase+n.eng.roster.M:
+		// Decided on the coordinator; OnAccept (below) handles fan-out on
+		// every referee member.
+	case res.SN == snBlock:
+		// Handled in OnAccept so every referee member shares the
+		// propagation burden.
+	case res.SN == snUTXO:
+		if payload, ok := res.Payload.(UTXOPayload); ok {
+			msg := UTXOFinalMsg{Round: n.eng.round, Committee: n.comID, Digest: payload.UTXO, Result: res}
+			for _, rm := range n.eng.roster.Referee {
+				ctx.Send(rm, TagUTXOFinal, msg, crypto.HashSize+res.CertSize(n.eng.P.Scheme))
+			}
+		}
+	}
+}
+
+func (n *Node) onConsensusAccept(ctx *simnet.Context, sn uint64, d crypto.Digest, payload any) {
+	switch {
+	case n.role == RoleReferee && sn >= snEvictBase && sn < snEvictBase+n.eng.roster.M:
+		ev, ok := payload.(EvictPayload)
+		if !ok {
+			return
+		}
+		evv := ev
+		n.crEvicted[ev.Committee] = &evv
+		// Every referee member notifies the committee (Algorithm 6).
+		msg := NewLeaderMsg{Round: n.eng.round, Committee: ev.Committee, Evicted: ev.Evicted, Successor: ev.Successor, Referee: n.ID}
+		for _, id := range n.eng.roster.Committee(ev.Committee) {
+			ctx.Send(id, TagNewLeader, msg, 24)
+		}
+	case n.role == RoleReferee && sn == snBlock:
+		blk, ok := payload.(*Block)
+		if !ok {
+			return
+		}
+		n.crBlock = blk
+		n.eng.propagateBlock(ctx, n.ID, blk)
+	case sn >= snInterInBase && sn < snInterInBase+n.eng.roster.M:
+		if p, ok := payload.(InterPayload); ok {
+			pp := p
+			n.interDecided[p.From] = &pp
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Block phase
+
+// onBlock receives the round block; committee leaders then drive the final
+// UTXO consensus (§IV-G).
+func (n *Node) onBlock(ctx *simnet.Context, m BlockMsg) {
+	if n.block != nil || m.Block == nil {
+		return
+	}
+	n.block = m.Block
+	if n.role == RoleLeader && !n.Behavior.Offline {
+		// Leaders forward the block inside their committee.
+		for _, id := range n.committeeNodes {
+			if id != n.ID {
+				ctx.Send(id, TagBlock, m, m.Block.WireSize())
+			}
+		}
+		// Agree on the final shard-UTXO digest.
+		digest := crypto.H([]byte("utxo"), u64(n.eng.round), u64(n.comID), m.Block.Randomness[:])
+		n.utxoDigest = digest
+		payload := UTXOPayload{Committee: n.comID, UTXO: digest}
+		if p := n.consFor(n.ID); p != nil {
+			p.Propose(ctx, snUTXO, payload.Digest(), payload, crypto.HashSize)
+		}
+	}
+}
+
+func (n *Node) onUTXOFinal(ctx *simnet.Context, m UTXOFinalMsg) {
+	// Recorded for completeness; C_R forwards these to the next round's
+	// partial sets, which the engine models directly.
+}
+
+// onPow records participation-puzzle solutions at C_R (§IV-F).
+func (n *Node) onPow(ctx *simnet.Context, m PowMsg) {
+	if n.role != RoleReferee {
+		return
+	}
+	n.crPow[m.Node] = true
+}
+
+func interKey(from, to uint64) string {
+	return string(rune('A'+from)) + "->" + string(rune('A'+to))
+}

@@ -1,0 +1,501 @@
+package protocol
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"cycledger/internal/committee"
+	"cycledger/internal/crypto"
+	"cycledger/internal/ledger"
+	"cycledger/internal/pow"
+	"cycledger/internal/pvss"
+	"cycledger/internal/reputation"
+	"cycledger/internal/simnet"
+)
+
+// engineBeaconMax caps the PVSS participant count the engine verifies at
+// full cryptographic fidelity. The beacon's unbiasability argument only
+// needs an honest majority among its participants; running the (expensive,
+// 768-bit) PVSS among a fixed-size referee quorum keeps whole-network
+// sweeps tractable while the pvss package's own tests cover the scheme at
+// larger sizes. Traffic for the full referee committee is still charged.
+const engineBeaconMax = 9
+
+// maxRecoveryAttempts bounds phase re-runs after leader evictions; the
+// partial set guarantees an honest member within λ replacements.
+const maxRecoveryAttempts = 4
+
+// ---------------------------------------------------------------------------
+// Phase 1: committee configuration (§IV-A, Algorithm 2)
+
+func (e *Engine) phaseConfig() {
+	e.setPhase("config")
+	for _, n := range e.nodes {
+		n.resetRound(e.roster)
+	}
+	// Build each committee's key-member records and install config
+	// endpoints.
+	for k := uint64(0); k < e.roster.M; k++ {
+		keyRecs := make([]committee.MemberRecord, 0, 1+len(e.roster.Partials[k]))
+		for _, id := range e.roster.KeyMembers(k) {
+			keyRecs = append(keyRecs, committee.MemberRecord{Node: id, PK: e.pkOf(id)})
+		}
+		for _, id := range e.roster.Committee(k) {
+			n := e.nodes[id]
+			isKey := n.role == RoleLeader || n.role == RolePartial
+			self := committee.MemberRecord{Node: id, PK: e.pkOf(id)}
+			if !isKey {
+				res := committee.Sortition(n.Keys, e.round, e.roster.Randomness, e.roster.M)
+				self.Hash = res.Out.Hash
+				self.Proof = res.Out.Proof
+			}
+			n.cfg = committee.NewConfigNode(e.round, e.roster.Randomness, e.roster.M, self, isKey, keyRecs)
+			if !isKey && !n.Behavior.Offline {
+				cn := n.cfg
+				e.Net.After(id, 1, func(ctx *simnet.Context) { cn.Start(ctx) })
+			}
+		}
+	}
+	e.Net.RunUntilIdle()
+	// Key members adopt their assembled member lists (the S of §IV-B).
+	for k := uint64(0); k < e.roster.M; k++ {
+		for _, id := range e.roster.KeyMembers(k) {
+			n := e.nodes[id]
+			if n.cfg != nil {
+				n.localDirectory = n.cfg.S
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: semi-commitment exchange (§IV-B, Algorithm 4)
+
+func (e *Engine) phaseSemiCommit(report *RoundReport) {
+	e.setPhase("semicommit")
+	pending := make([]uint64, 0, e.roster.M)
+	for k := uint64(0); k < e.roster.M; k++ {
+		pending = append(pending, k)
+	}
+	for attempt := 0; attempt < maxRecoveryAttempts && len(pending) > 0; attempt++ {
+		for _, k := range pending {
+			leader := e.nodes[e.roster.Leaders[k]]
+			e.Net.After(leader.ID, 1, func(ctx *simnet.Context) { leader.startSemiCommit(ctx) })
+		}
+		e.Net.RunUntilIdle()
+		pending = e.applyEvictions(report)
+	}
+}
+
+// applyEvictions folds decided evictions into the roster, punishes the
+// evicted leaders' reputation (§VII-B), force-syncs committee views, and
+// returns the affected committees (which must re-run the current step
+// under their new leaders).
+func (e *Engine) applyEvictions(report *RoundReport) []uint64 {
+	var affected []uint64
+	for k := uint64(0); k < e.roster.M; k++ {
+		coord := e.nodes[e.coordinatorFor(k)]
+		ev := coord.crEvicted[k]
+		if ev == nil || e.roster.Leaders[k] == ev.Successor {
+			continue
+		}
+		e.roster.ReplaceLeader(k, ev.Evicted, ev.Successor)
+		e.reput.Punish(e.names[ev.Evicted])
+		report.Recoveries = append(report.Recoveries, RecoveryEvent{
+			Round: e.round, Committee: k, Evicted: ev.Evicted, Successor: ev.Successor, Kind: ev.Witness.Kind,
+		})
+		// Force-sync every member's view (the NEW_LEADER quorum normally
+		// does this; the sync also covers nodes whose notices raced the
+		// end of the network run).
+		for _, id := range e.roster.Committee(k) {
+			n := e.nodes[id]
+			n.curLeader = ev.Successor
+			if id == ev.Successor {
+				n.role = RoleLeader
+			}
+			if id == ev.Evicted {
+				n.role = RoleCommon
+			}
+		}
+		// The successor (a partial member) holds its own directory from
+		// the config phase; it re-announces in the next attempt.
+		affected = append(affected, k)
+	}
+	return affected
+}
+
+// ---------------------------------------------------------------------------
+// Phase 3: intra-committee consensus (§IV-C, Algorithm 5)
+
+func (e *Engine) phaseIntra(report *RoundReport) {
+	e.setPhase("intra")
+	// Build the round's workload and split it per shard.
+	batch := e.gen.NextBatch(e.P.M * e.P.TxPerCommittee)
+	e.offered = batch
+	intraLists := make(map[uint64][]*ledger.Tx)
+	e.crossLists = make(map[uint64]map[uint64][]*ledger.Tx)
+	for _, tx := range batch {
+		shards := ledger.TouchedShards(tx, e.utxo, e.roster.M)
+		switch {
+		case len(shards) <= 1:
+			k := uint64(0)
+			if len(shards) == 1 {
+				k = shards[0]
+			} else if outs := ledger.OutputShards(tx, e.roster.M); len(outs) > 0 {
+				k = outs[0] // unresolvable inputs: offered to the output shard, voted No
+			}
+			intraLists[k] = append(intraLists[k], tx)
+		default:
+			ins := ledger.InputShards(tx, e.utxo, e.roster.M)
+			i := shards[0]
+			if len(ins) > 0 {
+				i = ins[0]
+			}
+			j := shards[0]
+			if j == i && len(shards) > 1 {
+				j = shards[1]
+			}
+			if e.crossLists[i] == nil {
+				e.crossLists[i] = make(map[uint64][]*ledger.Tx)
+			}
+			e.crossLists[i][j] = append(e.crossLists[i][j], tx)
+		}
+	}
+	pending := make([]uint64, 0, e.roster.M)
+	for k := uint64(0); k < e.roster.M; k++ {
+		pending = append(pending, k)
+	}
+	for attempt := 0; attempt < maxRecoveryAttempts && len(pending) > 0; attempt++ {
+		for _, k := range pending {
+			leader := e.nodes[e.roster.Leaders[k]]
+			leader.leaderTxs = intraLists[k]
+			a := attempt
+			e.Net.After(leader.ID, 1, func(ctx *simnet.Context) { leader.startIntra(ctx, a) })
+		}
+		e.Net.RunUntilIdle()
+		pending = e.applyEvictions(report)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Phase 4: inter-committee consensus (§IV-D)
+
+func (e *Engine) phaseInter(report *RoundReport) {
+	e.setPhase("inter")
+	for k := uint64(0); k < e.roster.M; k++ {
+		lists := e.crossLists[k]
+		if len(lists) == 0 {
+			continue
+		}
+		leader := e.nodes[e.roster.Leaders[k]]
+		leader.interOut = lists
+		e.Net.After(leader.ID, 1, func(ctx *simnet.Context) { leader.startInter(ctx) })
+	}
+	e.Net.RunUntilIdle()
+	// Evictions during inter (e.g. equivocation on cross lists) are folded
+	// in; the fallback-proposer path keeps liveness, so no re-run here.
+	e.applyEvictions(report)
+}
+
+// ---------------------------------------------------------------------------
+// Phase 5: reputation updating (§IV-E)
+
+func (e *Engine) phaseScore(report *RoundReport) {
+	e.setPhase("score")
+	for k := uint64(0); k < e.roster.M; k++ {
+		leader := e.nodes[e.roster.Leaders[k]]
+		e.Net.After(leader.ID, 1, func(ctx *simnet.Context) { leader.startScore(ctx) })
+	}
+	e.Net.RunUntilIdle()
+	// C_R applies certified score lists to the reputation table.
+	ref := e.refereeView()
+	for _, k := range sortedCommitteeIDs(ref.crScores) {
+		msg := ref.crScores[k]
+		payload, ok := msg.Result.Payload.(ScorePayload)
+		if !ok {
+			continue
+		}
+		for i, id := range payload.Members {
+			e.reput.AddScore(e.names[id], payload.Scores[i])
+		}
+	}
+	// Leaders that completed the intra phase earn their workload bonus
+	// (§VII-A).
+	for _, k := range sortedCommitteeIDs(ref.crIntra) {
+		e.reput.Bonus(e.names[e.roster.Leaders[k]], 1)
+	}
+}
+
+// refereeView returns the first online referee member — the engine's
+// window into C_R's certified state.
+func (e *Engine) refereeView() *Node {
+	for _, id := range e.roster.Referee {
+		if !e.nodes[id].Behavior.Offline {
+			return e.nodes[id]
+		}
+	}
+	return e.nodes[e.roster.Referee[0]]
+}
+
+// ---------------------------------------------------------------------------
+// Phase 6: referee committee, leaders and partial-set selection (§IV-F)
+
+func (e *Engine) phaseSelect(report *RoundReport) {
+	e.setPhase("select")
+	// Participation PoW: every online node solves the puzzle and submits
+	// the solution to C_R.
+	puzzle := e.powPuzzle()
+	for _, n := range e.nodes {
+		if n.Behavior.Offline {
+			continue
+		}
+		sol, _, err := pow.Solve(puzzle, n.Keys.PK, uint64(n.ID)<<32, 1<<22)
+		if err != nil {
+			continue
+		}
+		msg := PowMsg{Round: e.round, Node: n.ID, Solution: sol}
+		for _, rm := range e.roster.Referee {
+			e.Net.Send(n.ID, rm, TagPow, msg, 48)
+		}
+	}
+	e.Net.RunUntilIdle()
+
+	// Distributed randomness via PVSS among a referee quorum; traffic is
+	// charged for the full committee (every member deals to every other).
+	quorum := e.roster.Referee
+	if len(quorum) > engineBeaconMax {
+		quorum = quorum[:engineBeaconMax]
+	}
+	members := make([]pvss.BeaconMember, len(quorum))
+	for i, id := range quorum {
+		b := pvss.DealHonest
+		switch {
+		case e.nodes[id].Behavior.Offline:
+			b = pvss.DealSilent
+		case e.nodes[id].Behavior.IsByzantine():
+			b = pvss.DealAbort
+		}
+		members[i] = pvss.BeaconMember{ID: e.names[id], Behavior: b}
+	}
+	res, err := pvss.RunBeacon(e.group, members, e.rng)
+	next := crypto.H([]byte("fallback"), e.randomness[:])
+	if err == nil {
+		next = res.Randomness
+	}
+	shareSize := 96 + 32*(len(e.roster.Referee)/2+1)
+	for _, a := range e.roster.Referee {
+		for _, b := range e.roster.Referee {
+			if a != b {
+				e.Net.Send(a, b, TagPVSSShare, nil, shareSize)
+			}
+		}
+	}
+	e.Net.RunUntilIdle()
+
+	// Participants recorded by C_R.
+	ref := e.refereeView()
+	participants := make([]simnet.NodeID, 0, len(ref.crPow))
+	for id := range ref.crPow {
+		participants = append(participants, id)
+	}
+	simnet.SortNodeIDs(participants)
+	report.Participants = len(participants)
+
+	e.nextRoster = e.buildNextRoster(next, participants)
+}
+
+// buildNextRoster runs the selection rules of §IV-F: uniformly random
+// referee committee and partial sets (ranked lottery tickets under the new
+// randomness), reputation-ranked leaders.
+func (e *Engine) buildNextRoster(next crypto.Digest, participants []simnet.NodeID) *Roster {
+	r := newRoster(e.round+1, next, uint64(e.P.M))
+	pool := append([]simnet.NodeID(nil), participants...)
+
+	// Referee committee: lowest lottery tickets win.
+	sortByTicket(pool, func(id simnet.NodeID) crypto.Digest {
+		return crypto.LotteryTicket(e.round+1, next, e.pkOf(id), crypto.RoleReferee)
+	})
+	refCount := e.P.RefSize
+	if refCount > len(pool) {
+		refCount = len(pool)
+	}
+	r.setReferee(append([]simnet.NodeID(nil), pool[:refCount]...))
+	pool = pool[refCount:]
+
+	// Leaders: the m highest-reputation participants (§IV-F).
+	names := make([]string, len(pool))
+	byName := make(map[string]simnet.NodeID, len(pool))
+	for i, id := range pool {
+		names[i] = e.names[id]
+		byName[e.names[id]] = id
+	}
+	top := e.reput.TopK(names, e.P.M)
+	taken := make(map[simnet.NodeID]bool)
+	for k, name := range top {
+		id := byName[name]
+		r.setLeader(uint64(k), id)
+		taken[id] = true
+	}
+	rest := pool[:0]
+	for _, id := range pool {
+		if !taken[id] {
+			rest = append(rest, id)
+		}
+	}
+	pool = rest
+
+	// Partial sets: ranked partial-set tickets, committee by hash mod m,
+	// deficits filled from the remaining ranking.
+	sortByTicket(pool, func(id simnet.NodeID) crypto.Digest {
+		return crypto.LotteryTicket(e.round+1, next, e.pkOf(id), crypto.RolePartialSet)
+	})
+	var leftover []simnet.NodeID
+	for _, id := range pool {
+		k := crypto.PartialSetCommittee(e.round+1, next, e.pkOf(id), r.M)
+		if len(r.Partials[k]) < e.P.Lambda {
+			r.addPartial(k, id)
+		} else {
+			leftover = append(leftover, id)
+		}
+	}
+	li := 0
+	for k := uint64(0); k < r.M; k++ {
+		for len(r.Partials[k]) < e.P.Lambda && li < len(leftover) {
+			r.addPartial(k, leftover[li])
+			li++
+		}
+	}
+	// Everyone else becomes a common member by sortition under R_{r+1}.
+	for _, id := range leftover[li:] {
+		res := committee.Sortition(e.nodes[id].Keys, e.round+1, next, r.M)
+		r.addCommon(res.CommitteeID, id)
+	}
+	return r
+}
+
+func sortByTicket(ids []simnet.NodeID, ticket func(simnet.NodeID) crypto.Digest) {
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := ticket(ids[i]), ticket(ids[j])
+		return bytes.Compare(a[:], b[:]) < 0
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Phase 7: block generation and propagation (§IV-G)
+
+func (e *Engine) phaseBlock(report *RoundReport) error {
+	e.setPhase("block")
+	if e.nextRoster == nil {
+		return fmt.Errorf("protocol: selection phase did not produce a roster")
+	}
+	ref := e.refereeView()
+
+	// Assemble the candidate set from certified committee results, in
+	// deterministic order, de-duplicated by transaction ID.
+	var candidates []*ledger.Tx
+	seen := make(map[ledger.TxID]bool)
+	add := func(txs []*ledger.Tx) {
+		for _, tx := range txs {
+			id := tx.ID()
+			if !seen[id] {
+				seen[id] = true
+				candidates = append(candidates, tx)
+			}
+		}
+	}
+	for _, k := range sortedCommitteeIDs(ref.crIntra) {
+		if payload, ok := ref.crIntra[k].Result.Payload.(IntraPayload); ok {
+			add(payload.Txs)
+		}
+	}
+	interKeys := make([]string, 0, len(ref.crInter))
+	for key := range ref.crInter {
+		interKeys = append(interKeys, key)
+	}
+	sort.Strings(interKeys)
+	for _, key := range interKeys {
+		if payload, ok := ref.crInter[key].Result.Payload.(InterPayload); ok {
+			add(payload.Txs)
+		}
+	}
+
+	// Final validation against the global UTXO (cross-shard double spends
+	// across paths die here), classification, and application.
+	crossBefore := make(map[ledger.TxID]bool)
+	for _, tx := range candidates {
+		if ledger.IsCrossShard(tx, e.utxo, e.roster.M) {
+			crossBefore[tx.ID()] = true
+		}
+	}
+	valid, fees, _ := ledger.ValidateBatch(candidates, e.utxo)
+	included := make(map[ledger.TxID]bool, len(valid))
+	for _, tx := range valid {
+		if crossBefore[tx.ID()] {
+			report.CrossIncluded++
+		} else {
+			report.IntraIncluded++
+		}
+		included[tx.ID()] = true
+		if err := e.utxo.ApplyTx(tx); err != nil {
+			return fmt.Errorf("protocol: applying validated tx: %w", err)
+		}
+	}
+	report.Fees = fees
+	for _, tx := range e.offered {
+		if !included[tx.ID()] {
+			report.Rejected++
+			e.gen.Reject(tx)
+		}
+	}
+
+	// Rewards: fees split proportionally to g(reputation) across this
+	// round's participants (§IV-G).
+	partNames := make([]string, 0, len(e.roster.AllNodes()))
+	reps := make([]float64, 0, len(partNames))
+	for _, id := range e.roster.AllNodes() {
+		partNames = append(partNames, e.names[id])
+	}
+	sort.Strings(partNames)
+	for _, name := range partNames {
+		reps = append(reps, e.reput.Get(name))
+	}
+	rewards := reputation.DistributeRewards(reps, fees)
+	for i, name := range partNames {
+		if rewards[i] > 0 {
+			report.Rewards[name] = rewards[i]
+		}
+	}
+
+	blk := &Block{
+		Round:        e.round,
+		Txs:          valid,
+		Fees:         fees,
+		Randomness:   e.nextRoster.Randomness,
+		NextReferee:  e.nextRoster.Referee,
+		NextLeaders:  e.nextRoster.Leaders,
+		NextPartials: e.nextRoster.Partials,
+		Reputations:  e.reput.Snapshot(),
+		Rewards:      report.Rewards,
+	}
+
+	// C_R certifies the block via Algorithm 3, then propagates it.
+	proposer := ref
+	e.Net.After(proposer.ID, 1, func(ctx *simnet.Context) {
+		if p := proposer.consFor(proposer.ID); p != nil {
+			p.Propose(ctx, snBlock, blk.Digest(), blk, blk.WireSize())
+		}
+	})
+	e.Net.RunUntilIdle()
+
+	for _, n := range e.nodes {
+		if n.block != nil || (n.role == RoleReferee && n.crBlock != nil) {
+			report.BlockDelivered++
+		}
+	}
+	if _, err := e.chain.Append(e.round, blk.Randomness, blk.Fees, blk.Txs); err != nil {
+		return fmt.Errorf("protocol: appending block: %w", err)
+	}
+	e.randomness = e.nextRoster.Randomness
+	return nil
+}

@@ -1,0 +1,186 @@
+package protocol
+
+import (
+	"cycledger/internal/consensus"
+	"cycledger/internal/simnet"
+)
+
+// Leader re-selection (§V-D, Algorithm 6, Fig. 6).
+//
+// Flow: an honest partial-set member holding a witness broadcasts an
+// ACCUSE to its committee; members verify the witness and reply APPROVE;
+// with more than half the committee approving, the accuser escalates an
+// EVICT_REQ to every referee member; the committee's C_R coordinator runs
+// Algorithm 3 on the eviction; on acceptance every referee member sends
+// NEW_LEADER to the committee, whose members switch leaders once a
+// majority of referees has spoken.
+
+// onEquivocation fires when this node can prove an instance leader signed
+// two conflicting proposals.
+func (n *Node) onEquivocation(ctx *simnet.Context, leader simnet.NodeID, w consensus.Witness) {
+	if n.eng.P.DisableRecovery || n.role == RoleReferee {
+		return
+	}
+	if leader != n.curLeader {
+		return // fallback proposers are not subject to impeachment here
+	}
+	witness := RecoveryWitness{Kind: "equivocation", Committee: n.comID, Equiv: &w}
+	if n.role == RolePartial {
+		n.accuse(ctx, witness)
+	}
+	// Common members stop cooperating with the instance (the consensus
+	// layer already withholds their echoes once equivocation is seen).
+}
+
+// accuse broadcasts the impeachment to the committee (§V-D: "broadcast
+// his/her witness to all members ... and ask them to vote").
+func (n *Node) accuse(ctx *simnet.Context, w RecoveryWitness) {
+	if n.accusedOnce[w.Kind] || n.Behavior.Offline {
+		return
+	}
+	n.accusedOnce[w.Kind] = true
+	msg := AccuseMsg{Round: n.eng.round, Committee: n.comID, Accuser: n.ID, Witness: w}
+	n.myAccusation = &msg
+	n.myApprovals = nil
+	n.escalated = false
+	for _, id := range n.committeeNodes {
+		if id != n.ID && id != n.curLeader {
+			ctx.Send(id, TagAccuse, msg, 200)
+		}
+	}
+	// The accuser approves its own motion.
+	self := ApproveMsg{Round: n.eng.round, Committee: n.comID, Accuser: n.ID, Voter: n.ID}
+	self.Sig = n.eng.P.Scheme.Sign(n.Keys, self.SigParts()...)
+	n.onApprove(ctx, self)
+}
+
+// onAccuse verifies the witness and votes (§V-D: "we say a witness is
+// valid if and only if the pair can derive dishonest behaviors").
+func (n *Node) onAccuse(ctx *simnet.Context, m AccuseMsg) {
+	if m.Committee != n.comID || m.Round != n.eng.round {
+		return
+	}
+	if n.Behavior.IsByzantine() {
+		return // byzantine members do not help impeach their leader
+	}
+	if !m.Witness.Verify(n.eng.P.Scheme, n.eng.pkOf(n.curLeader)) {
+		return // Claim 4: invalid witnesses cannot frame an honest leader
+	}
+	ap := ApproveMsg{Round: m.Round, Committee: m.Committee, Accuser: m.Accuser, Voter: n.ID}
+	ap.Sig = n.eng.P.Scheme.Sign(n.Keys, ap.SigParts()...)
+	ctx.Send(m.Accuser, TagApprove, ap, n.eng.P.Scheme.SigSize()+16)
+}
+
+// onApprove tallies impeachment votes on the accuser; past a majority the
+// case escalates to C_R.
+func (n *Node) onApprove(ctx *simnet.Context, m ApproveMsg) {
+	if n.myAccusation == nil || m.Accuser != n.ID || n.escalated {
+		return
+	}
+	if n.eng.P.Scheme.Verify(n.eng.pkOf(m.Voter), m.Sig, m.SigParts()...) != nil {
+		return
+	}
+	for _, a := range n.myApprovals {
+		if a.Voter == m.Voter {
+			return
+		}
+	}
+	n.myApprovals = append(n.myApprovals, m)
+	if 2*len(n.myApprovals) <= n.committeeSize() {
+		return
+	}
+	n.escalated = true
+	req := EvictReqMsg{
+		Round:     n.eng.round,
+		Committee: n.comID,
+		Accuser:   n.ID,
+		Witness:   n.myAccusation.Witness,
+		Approvals: append([]ApproveMsg(nil), n.myApprovals...),
+	}
+	size := 200 + len(req.Approvals)*(n.eng.P.Scheme.SigSize()+16)
+	for _, rm := range n.eng.roster.Referee {
+		ctx.Send(rm, TagEvictReq, req, size)
+	}
+}
+
+// onEvictReq is the referee side: the committee's coordinator verifies the
+// witness and approval certificate and starts the eviction instance.
+func (n *Node) onEvictReq(ctx *simnet.Context, m EvictReqMsg) {
+	if n.role != RoleReferee || m.Round != n.eng.round {
+		return
+	}
+	if n.eng.coordinatorFor(m.Committee) != n.ID {
+		return
+	}
+	if _, done := n.crEvicted[m.Committee]; done {
+		return
+	}
+	leader := n.eng.roster.Leaders[m.Committee]
+	if !m.Witness.Verify(n.eng.P.Scheme, n.eng.pkOf(leader)) {
+		return
+	}
+	// Check the approval certificate: distinct committee members, valid
+	// signatures, strict majority.
+	members := map[simnet.NodeID]bool{}
+	for _, id := range n.eng.roster.Committee(m.Committee) {
+		members[id] = true
+	}
+	seen := map[simnet.NodeID]bool{}
+	for _, ap := range m.Approvals {
+		if !members[ap.Voter] || seen[ap.Voter] {
+			continue
+		}
+		if n.eng.P.Scheme.Verify(n.eng.pkOf(ap.Voter), ap.Sig, ap.SigParts()...) != nil {
+			continue
+		}
+		seen[ap.Voter] = true
+	}
+	if 2*len(seen) <= len(members) {
+		return
+	}
+	n.proposeEviction(ctx, m.Committee, m.Witness)
+}
+
+// proposeEviction starts C_R's Algorithm 3 instance replacing the leader
+// with the lowest-ID partial-set member.
+func (n *Node) proposeEviction(ctx *simnet.Context, k uint64, w RecoveryWitness) {
+	evicted := n.eng.roster.Leaders[k]
+	successor := n.eng.successorFor(k)
+	if successor < 0 {
+		return
+	}
+	payload := EvictPayload{Committee: k, Evicted: evicted, Successor: successor, Witness: w}
+	if p := n.consFor(n.ID); p != nil {
+		p.Propose(ctx, snEvictBase+k, payload.Digest(), payload, 250)
+	}
+}
+
+// onNewLeader installs the replacement once a majority of referee members
+// has announced it.
+func (n *Node) onNewLeader(ctx *simnet.Context, m NewLeaderMsg) {
+	if m.Committee != n.comID || m.Round != n.eng.round {
+		return
+	}
+	if n.eng.roster.RoleOf(m.Referee) != RoleReferee {
+		return
+	}
+	votes := n.leaderVotes[m.Successor]
+	if votes == nil {
+		votes = make(map[simnet.NodeID]bool)
+		n.leaderVotes[m.Successor] = votes
+	}
+	votes[m.Referee] = true
+	if 2*len(votes) <= len(n.eng.roster.Referee) {
+		return
+	}
+	if n.curLeader == m.Successor {
+		return
+	}
+	n.curLeader = m.Successor
+	if n.ID == m.Successor {
+		n.role = RoleLeader
+	}
+	if n.ID == m.Evicted {
+		n.role = RoleCommon
+	}
+}

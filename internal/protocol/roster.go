@@ -1,0 +1,195 @@
+package protocol
+
+import (
+	"sort"
+
+	"cycledger/internal/crypto"
+	"cycledger/internal/simnet"
+)
+
+// Role is a node's seat in the current round.
+type Role int
+
+// Roles, per Fig. 1 of the paper.
+const (
+	RoleCommon Role = iota
+	RolePartial
+	RoleLeader
+	RoleReferee
+	RoleIdle // did not participate this round (failed/skipped PoW)
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleCommon:
+		return "common"
+	case RolePartial:
+		return "partial"
+	case RoleLeader:
+		return "leader"
+	case RoleReferee:
+		return "referee"
+	default:
+		return "idle"
+	}
+}
+
+// Roster fixes who plays which role in a round. Leaders and partial sets
+// for round r are selected during round r-1 (§IV-F); common members join
+// their committees during the configuration phase via sortition.
+type Roster struct {
+	Round      uint64
+	Randomness crypto.Digest
+	M          uint64
+
+	Referee  []simnet.NodeID
+	Leaders  []simnet.NodeID   // Leaders[k] leads committee k
+	Partials [][]simnet.NodeID // Partials[k] is committee k's partial set
+
+	// Commons[k] is filled in by sortition at configuration time.
+	Commons [][]simnet.NodeID
+
+	roles map[simnet.NodeID]Role
+	comOf map[simnet.NodeID]uint64
+}
+
+func newRoster(round uint64, randomness crypto.Digest, m uint64) *Roster {
+	return &Roster{
+		Round:      round,
+		Randomness: randomness,
+		M:          m,
+		Partials:   make([][]simnet.NodeID, m),
+		Commons:    make([][]simnet.NodeID, m),
+		Leaders:    make([]simnet.NodeID, m),
+		roles:      make(map[simnet.NodeID]Role),
+		comOf:      make(map[simnet.NodeID]uint64),
+	}
+}
+
+func (r *Roster) setReferee(ids []simnet.NodeID) {
+	r.Referee = ids
+	for _, id := range ids {
+		r.roles[id] = RoleReferee
+	}
+}
+
+func (r *Roster) setLeader(k uint64, id simnet.NodeID) {
+	r.Leaders[k] = id
+	r.roles[id] = RoleLeader
+	r.comOf[id] = k
+}
+
+func (r *Roster) addPartial(k uint64, id simnet.NodeID) {
+	r.Partials[k] = append(r.Partials[k], id)
+	r.roles[id] = RolePartial
+	r.comOf[id] = k
+}
+
+func (r *Roster) addCommon(k uint64, id simnet.NodeID) {
+	r.Commons[k] = append(r.Commons[k], id)
+	r.roles[id] = RoleCommon
+	r.comOf[id] = k
+}
+
+// RoleOf returns the node's role (RoleIdle if absent).
+func (r *Roster) RoleOf(id simnet.NodeID) Role {
+	if role, ok := r.roles[id]; ok {
+		return role
+	}
+	return RoleIdle
+}
+
+// CommitteeOf returns the committee a non-referee node serves.
+func (r *Roster) CommitteeOf(id simnet.NodeID) (uint64, bool) {
+	k, ok := r.comOf[id]
+	return k, ok
+}
+
+// Committee returns every member of committee k (leader first, then
+// partial set, then commons), sorted within each group.
+func (r *Roster) Committee(k uint64) []simnet.NodeID {
+	out := []simnet.NodeID{r.Leaders[k]}
+	out = append(out, r.Partials[k]...)
+	out = append(out, r.Commons[k]...)
+	return out
+}
+
+// KeyMembers returns committee k's leader and partial set.
+func (r *Roster) KeyMembers(k uint64) []simnet.NodeID {
+	out := []simnet.NodeID{r.Leaders[k]}
+	return append(out, r.Partials[k]...)
+}
+
+// AllKeyMembers returns the leaders and partial-set members of every
+// committee — the node set with Γ-bounded links in the network model.
+func (r *Roster) AllKeyMembers() []simnet.NodeID {
+	var out []simnet.NodeID
+	for k := uint64(0); k < r.M; k++ {
+		out = append(out, r.KeyMembers(k)...)
+	}
+	return out
+}
+
+// AllNodes returns every participating node this round.
+func (r *Roster) AllNodes() []simnet.NodeID {
+	out := make([]simnet.NodeID, 0, len(r.roles))
+	for id := range r.roles {
+		out = append(out, id)
+	}
+	simnet.SortNodeIDs(out)
+	return out
+}
+
+// CommonsOfAll returns all common members across committees.
+func (r *Roster) CommonsOfAll() []simnet.NodeID {
+	var out []simnet.NodeID
+	for _, cs := range r.Commons {
+		out = append(out, cs...)
+	}
+	return out
+}
+
+// ReplaceLeader installs a new leader for committee k after a recovery
+// (§V-D): the new leader leaves the partial set; the evicted node is
+// demoted to common member (it stays connected but holds no key seat).
+func (r *Roster) ReplaceLeader(k uint64, evicted, successor simnet.NodeID) {
+	r.setLeader(k, successor)
+	// Remove the successor from the partial set.
+	ps := r.Partials[k][:0]
+	for _, id := range r.Partials[k] {
+		if id != successor {
+			ps = append(ps, id)
+		}
+	}
+	r.Partials[k] = ps
+	r.roles[evicted] = RoleCommon
+	r.Commons[k] = append(r.Commons[k], evicted)
+	sort.Slice(r.Commons[k], func(i, j int) bool { return r.Commons[k][i] < r.Commons[k][j] })
+}
+
+// linkClass classifies a link for the latency model: intra-committee (or
+// intra-referee) links are Δ-bounded; links among key members and referee
+// members are Γ-bounded; everything else is partially synchronous.
+func (r *Roster) linkClass(from, to simnet.NodeID) simnet.LinkClass {
+	fr, fOK := r.roles[from]
+	tr, tOK := r.roles[to]
+	if !fOK || !tOK {
+		return simnet.LinkPartial
+	}
+	if fr == RoleReferee && tr == RoleReferee {
+		return simnet.LinkIntra
+	}
+	fk, _ := r.comOf[from]
+	tk, _ := r.comOf[to]
+	if fr != RoleReferee && tr != RoleReferee && fk == tk {
+		return simnet.LinkIntra
+	}
+	// Cross-committee: synchronous only among key members (and between
+	// key members and the referee committee).
+	fKey := fr == RoleLeader || fr == RolePartial || fr == RoleReferee
+	tKey := tr == RoleLeader || tr == RolePartial || tr == RoleReferee
+	if fKey && tKey {
+		return simnet.LinkKey
+	}
+	return simnet.LinkPartial
+}

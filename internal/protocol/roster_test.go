@@ -1,0 +1,179 @@
+package protocol
+
+import (
+	"testing"
+
+	"cycledger/internal/crypto"
+	"cycledger/internal/simnet"
+)
+
+func testRoster() *Roster {
+	r := newRoster(1, crypto.HString("rand"), 2)
+	r.setReferee([]simnet.NodeID{0, 1, 2})
+	r.setLeader(0, 3)
+	r.setLeader(1, 4)
+	r.addPartial(0, 5)
+	r.addPartial(0, 6)
+	r.addPartial(1, 7)
+	r.addPartial(1, 8)
+	r.addCommon(0, 9)
+	r.addCommon(1, 10)
+	return r
+}
+
+func TestRosterRoles(t *testing.T) {
+	r := testRoster()
+	cases := map[simnet.NodeID]Role{
+		0: RoleReferee, 3: RoleLeader, 5: RolePartial, 9: RoleCommon, 99: RoleIdle,
+	}
+	for id, want := range cases {
+		if got := r.RoleOf(id); got != want {
+			t.Fatalf("RoleOf(%d) = %v, want %v", id, got, want)
+		}
+	}
+	if k, ok := r.CommitteeOf(7); !ok || k != 1 {
+		t.Fatalf("CommitteeOf(7) = %d,%v", k, ok)
+	}
+	if _, ok := r.CommitteeOf(0); ok {
+		t.Fatal("referee should have no committee")
+	}
+}
+
+func TestRosterCommitteeComposition(t *testing.T) {
+	r := testRoster()
+	com := r.Committee(0)
+	if len(com) != 4 || com[0] != 3 {
+		t.Fatalf("Committee(0) = %v", com)
+	}
+	keys := r.KeyMembers(1)
+	if len(keys) != 3 || keys[0] != 4 {
+		t.Fatalf("KeyMembers(1) = %v", keys)
+	}
+	all := r.AllKeyMembers()
+	if len(all) != 6 {
+		t.Fatalf("AllKeyMembers = %v", all)
+	}
+	if len(r.AllNodes()) != 11 {
+		t.Fatalf("AllNodes = %v", r.AllNodes())
+	}
+	if len(r.CommonsOfAll()) != 2 {
+		t.Fatalf("CommonsOfAll = %v", r.CommonsOfAll())
+	}
+}
+
+func TestRosterReplaceLeader(t *testing.T) {
+	r := testRoster()
+	r.ReplaceLeader(0, 3, 5)
+	if r.Leaders[0] != 5 {
+		t.Fatal("leader not replaced")
+	}
+	if r.RoleOf(5) != RoleLeader {
+		t.Fatal("successor role not updated")
+	}
+	if r.RoleOf(3) != RoleCommon {
+		t.Fatal("evicted node not demoted")
+	}
+	// Successor removed from the partial set.
+	for _, id := range r.Partials[0] {
+		if id == 5 {
+			t.Fatal("successor still in partial set")
+		}
+	}
+	// Committee membership preserved (same node count).
+	if len(r.Committee(0)) != 4 {
+		t.Fatalf("committee size changed: %v", r.Committee(0))
+	}
+}
+
+func TestRosterLinkClasses(t *testing.T) {
+	r := testRoster()
+	cases := []struct {
+		from, to simnet.NodeID
+		want     simnet.LinkClass
+	}{
+		{3, 9, simnet.LinkIntra},    // leader ↔ own common member
+		{0, 1, simnet.LinkIntra},    // referee internal
+		{3, 4, simnet.LinkKey},      // leader ↔ leader
+		{5, 7, simnet.LinkKey},      // partial ↔ remote partial
+		{3, 0, simnet.LinkKey},      // leader ↔ referee
+		{9, 10, simnet.LinkPartial}, // common ↔ remote common
+		{9, 4, simnet.LinkPartial},  // common ↔ remote leader
+		{99, 3, simnet.LinkPartial}, // unknown node
+	}
+	for _, tc := range cases {
+		if got := r.linkClass(tc.from, tc.to); got != tc.want {
+			t.Fatalf("linkClass(%d,%d) = %v, want %v", tc.from, tc.to, got, tc.want)
+		}
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	good := DefaultParams()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Params){
+		func(p *Params) { p.M = 0 },
+		func(p *Params) { p.Lambda = 0 },
+		func(p *Params) { p.C = p.Lambda },
+		func(p *Params) { p.RefSize = 2 },
+		func(p *Params) { p.Rounds = 0 },
+		func(p *Params) { p.MaliciousFrac = 1.0 },
+		func(p *Params) { p.Scheme = nil },
+	}
+	for i, mutate := range bad {
+		p := DefaultParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+	if got := good.TotalNodes(); got != good.M*good.C+good.RefSize {
+		t.Fatalf("TotalNodes = %d", got)
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	for role, want := range map[Role]string{
+		RoleCommon: "common", RolePartial: "partial", RoleLeader: "leader",
+		RoleReferee: "referee", RoleIdle: "idle",
+	} {
+		if role.String() != want {
+			t.Fatalf("Role(%d).String() = %q", role, role.String())
+		}
+	}
+}
+
+func TestWitnessKindsVerify(t *testing.T) {
+	p := DefaultParams()
+	e, err := NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leader := e.nodes[e.roster.Leaders[0]]
+
+	// A semicommit witness: self-inconsistent signed announcement.
+	msg := SemiComMsg{Round: 1, Committee: 0, SemiCom: crypto.HString("forged")}
+	msg.Sig = p.Scheme.Sign(leader.Keys, msg.SigParts()...)
+	w := RecoveryWitness{Kind: "semicommit", Committee: 0, SemiCom: &msg}
+	if !w.Verify(p.Scheme, leader.Keys.PK) {
+		t.Fatal("genuine semicommit witness rejected")
+	}
+	// Same message against another node's key: framing fails (Claim 4).
+	other := e.nodes[e.roster.Leaders[1]]
+	if w.Verify(p.Scheme, other.Keys.PK) {
+		t.Fatal("witness framed a different leader")
+	}
+	// A consistent announcement is not a witness.
+	honest := SemiComMsg{Round: 1, Committee: 0}
+	honest.SemiCom = honest.ListDigest()
+	honest.Sig = p.Scheme.Sign(leader.Keys, honest.SigParts()...)
+	wh := RecoveryWitness{Kind: "semicommit", Committee: 0, SemiCom: &honest}
+	if wh.Verify(p.Scheme, leader.Keys.PK) {
+		t.Fatal("consistent announcement treated as a witness")
+	}
+	// Unknown kinds never verify.
+	if (RecoveryWitness{Kind: "gossip"}).Verify(p.Scheme, leader.Keys.PK) {
+		t.Fatal("unknown witness kind accepted")
+	}
+}

@@ -1,0 +1,153 @@
+package pvss
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func honestMembers(n int) []BeaconMember {
+	ms := make([]BeaconMember, n)
+	for i := range ms {
+		ms[i] = BeaconMember{ID: string(rune('a' + i)), Behavior: DealHonest}
+	}
+	return ms
+}
+
+func TestBeaconAllHonest(t *testing.T) {
+	g := testGroup()
+	res, err := RunBeacon(g, honestMembers(5), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Qualified) != 5 || len(res.Disqualified) != 0 {
+		t.Fatalf("qualified=%v disqualified=%v", res.Qualified, res.Disqualified)
+	}
+	if res.Randomness.IsZero() {
+		t.Fatal("zero randomness")
+	}
+}
+
+func TestBeaconDeterministicGivenSeed(t *testing.T) {
+	g := testGroup()
+	a, err := RunBeacon(g, honestMembers(4), rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBeacon(g, honestMembers(4), rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Randomness != b.Randomness {
+		t.Fatal("same seed produced different randomness")
+	}
+	c, err := RunBeacon(g, honestMembers(4), rand.New(rand.NewSource(43)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Randomness == c.Randomness {
+		t.Fatal("different seeds produced identical randomness")
+	}
+}
+
+func TestBeaconDisqualifiesCorruptDealer(t *testing.T) {
+	g := testGroup()
+	ms := honestMembers(5)
+	ms[1].Behavior = DealCorruptShares
+	res, err := RunBeacon(g, ms, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Disqualified) != 1 || res.Disqualified[0] != ms[1].ID {
+		t.Fatalf("disqualified = %v, want [%s]", res.Disqualified, ms[1].ID)
+	}
+	if len(res.Qualified) != 4 {
+		t.Fatalf("qualified = %v", res.Qualified)
+	}
+}
+
+func TestBeaconRecoversAborterSecret(t *testing.T) {
+	// An aborting dealer is committed: its secret is reconstructed, so
+	// aborting cannot bias the output.
+	g := testGroup()
+	ms := honestMembers(5)
+	ms[2].Behavior = DealAbort
+	res, err := RunBeacon(g, ms, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reconstructed != 1 {
+		t.Fatalf("reconstructed = %d, want 1", res.Reconstructed)
+	}
+	if len(res.Qualified) != 5 {
+		t.Fatalf("aborter should stay qualified, got %v", res.Qualified)
+	}
+}
+
+func TestBeaconAbortCannotBias(t *testing.T) {
+	// The randomness with an aborting dealer equals the randomness had the
+	// dealer stayed online, because the same secrets are folded in.
+	g := testGroup()
+	honest, err := RunBeacon(g, honestMembers(5), rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := honestMembers(5)
+	ms[4].Behavior = DealAbort
+	aborted, err := RunBeacon(g, ms, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if honest.Randomness != aborted.Randomness {
+		t.Fatal("abort changed the beacon output — bias is possible")
+	}
+}
+
+func TestBeaconSilentDealerExcluded(t *testing.T) {
+	g := testGroup()
+	ms := honestMembers(5)
+	ms[0].Behavior = DealSilent
+	res, err := RunBeacon(g, ms, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Silent) != 1 || len(res.Qualified) != 4 {
+		t.Fatalf("silent=%v qualified=%v", res.Silent, res.Qualified)
+	}
+}
+
+func TestBeaconMixedAdversary(t *testing.T) {
+	// Two of five members malicious (minority): output still produced,
+	// corrupt dealer excluded, aborter recovered.
+	g := testGroup()
+	ms := honestMembers(5)
+	ms[0].Behavior = DealCorruptShares
+	ms[1].Behavior = DealAbort
+	res, err := RunBeacon(g, ms, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Qualified) != 4 {
+		t.Fatalf("qualified = %v, want 4 members", res.Qualified)
+	}
+	if res.Randomness.IsZero() {
+		t.Fatal("zero randomness")
+	}
+}
+
+func TestBeaconTooFewMembers(t *testing.T) {
+	g := testGroup()
+	if _, err := RunBeacon(g, honestMembers(2), rand.New(rand.NewSource(6))); err == nil {
+		t.Fatal("beacon with 2 members accepted")
+	}
+}
+
+func TestBeaconAllSilentFails(t *testing.T) {
+	g := testGroup()
+	ms := honestMembers(3)
+	for i := range ms {
+		ms[i].Behavior = DealSilent
+	}
+	if _, err := RunBeacon(g, ms, rand.New(rand.NewSource(7))); err == nil {
+		t.Fatal("beacon with no dealers should fail")
+	}
+}

@@ -1,0 +1,245 @@
+// Package reputation implements CycLedger's incentive layer (§IV-E, §IV-G,
+// §VII): cosine-similarity scoring of votes against the committee decision
+// (Eq. 1), the reputation ledger maintained by the referee committee, the
+// reward map g(x) (Eq. 2) with proportional fee distribution, leader
+// selection by top reputation, and the cube-root punishment for convicted
+// leaders (§VII-B).
+package reputation
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Vote is one node's opinion on one transaction: Yes (+1), No (-1) or
+// Unknown (0), per §IV-E.
+type Vote int8
+
+// Vote values.
+const (
+	No      Vote = -1
+	Unknown Vote = 0
+	Yes     Vote = +1
+)
+
+// VoteVector is a node's opinions over a transaction list, in list order.
+type VoteVector []Vote
+
+// CosineScore returns Eq. (1): the cosine similarity between a member's
+// vote vector and the committee's decision vector, in [-1, 1]. An
+// all-Unknown vote (zero vector) scores 0, matching the paper's "do
+// nothing, gain nothing" stance; a zero decision vector likewise yields 0.
+func CosineScore(vote, decision VoteVector) (float64, error) {
+	if len(vote) != len(decision) {
+		return 0, fmt.Errorf("reputation: vote length %d != decision length %d", len(vote), len(decision))
+	}
+	var dot, nv, nd float64
+	for i := range vote {
+		v, d := float64(vote[i]), float64(decision[i])
+		dot += v * d
+		nv += v * v
+		nd += d * d
+	}
+	if nv == 0 || nd == 0 {
+		return 0, nil
+	}
+	return dot / (math.Sqrt(nv) * math.Sqrt(nd)), nil
+}
+
+// DecisionVector computes the committee decision by strict majority of Yes
+// votes (Algorithm 5): entry k is Yes when more than half the committee
+// voted Yes on transaction k, else No.
+func DecisionVector(votes []VoteVector, committeeSize int) (VoteVector, error) {
+	if len(votes) == 0 {
+		return nil, fmt.Errorf("reputation: no votes")
+	}
+	d := len(votes[0])
+	for i, v := range votes {
+		if len(v) != d {
+			return nil, fmt.Errorf("reputation: vote %d has length %d, want %d", i, len(v), d)
+		}
+	}
+	out := make(VoteVector, d)
+	for k := 0; k < d; k++ {
+		yes := 0
+		for _, v := range votes {
+			if v[k] == Yes {
+				yes++
+			}
+		}
+		if 2*yes > committeeSize {
+			out[k] = Yes
+		} else {
+			out[k] = No
+		}
+	}
+	return out, nil
+}
+
+// ScoreAll grades every member against the decision vector (the leader's
+// job after Algorithm 5), returning scores aligned with votes.
+func ScoreAll(votes []VoteVector, decision VoteVector) ([]float64, error) {
+	scores := make([]float64, len(votes))
+	for i, v := range votes {
+		s, err := CosineScore(v, decision)
+		if err != nil {
+			return nil, err
+		}
+		scores[i] = s
+	}
+	return scores, nil
+}
+
+// G is the monotone reward map of Eq. (2):
+//
+//	g(x) = e^x          for x ≤ 0
+//	g(x) = 1 + ln(x+1)  for x > 0
+//
+// g(0) = 1 and g is continuous and strictly increasing, so negative
+// reputation earns almost nothing while positive reputation earns
+// logarithmically.
+func G(x float64) float64 {
+	if x <= 0 {
+		return math.Exp(x)
+	}
+	return 1 + math.Log(x+1)
+}
+
+// DistributeRewards splits totalFee proportionally to g(reputation), per
+// §IV-G. The returned integer amounts sum exactly to totalFee: remainders
+// are assigned by largest fractional part, ties broken by index, so the
+// split is deterministic.
+func DistributeRewards(reputations []float64, totalFee uint64) []uint64 {
+	n := len(reputations)
+	if n == 0 {
+		return nil
+	}
+	weights := make([]float64, n)
+	var sum float64
+	for i, r := range reputations {
+		weights[i] = G(r)
+		sum += weights[i]
+	}
+	out := make([]uint64, n)
+	if sum == 0 || totalFee == 0 {
+		return out
+	}
+	type frac struct {
+		idx  int
+		part float64
+	}
+	var assigned uint64
+	fracs := make([]frac, n)
+	for i, w := range weights {
+		exact := float64(totalFee) * w / sum
+		fl := math.Floor(exact)
+		out[i] = uint64(fl)
+		assigned += out[i]
+		fracs[i] = frac{idx: i, part: exact - fl}
+	}
+	remaining := totalFee - assigned
+	sort.Slice(fracs, func(i, j int) bool {
+		if fracs[i].part != fracs[j].part {
+			return fracs[i].part > fracs[j].part
+		}
+		return fracs[i].idx < fracs[j].idx
+	})
+	for i := uint64(0); i < remaining; i++ {
+		out[fracs[i%uint64(n)].idx]++
+	}
+	return out
+}
+
+// PunishLeader applies §VII-B: a convicted leader's reputation drops to its
+// cube root. The paper assumes leader reputations are positive; for
+// robustness a non-positive reputation is driven further down by 1 instead
+// (cube root would *raise* a negative value toward 0, rewarding the fault).
+func PunishLeader(rep float64) float64 {
+	if rep > 0 {
+		return math.Cbrt(rep)
+	}
+	return rep - 1
+}
+
+// Ledger is the reputation table the referee committee maintains. It is
+// safe for concurrent use.
+type Ledger struct {
+	mu   sync.RWMutex
+	reps map[string]float64
+}
+
+// NewLedger returns an empty table; unknown nodes have reputation 0
+// ("blank work experience", §VII-A).
+func NewLedger() *Ledger {
+	return &Ledger{reps: make(map[string]float64)}
+}
+
+// Get returns a node's reputation.
+func (l *Ledger) Get(id string) float64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.reps[id]
+}
+
+// AddScore adds a round score to a node's reputation (§IV-E: "updates
+// their reputation by simply adding the listed score").
+func (l *Ledger) AddScore(id string, score float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.reps[id] += score
+}
+
+// Punish applies the leader punishment to a node.
+func (l *Ledger) Punish(id string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.reps[id] = PunishLeader(l.reps[id])
+}
+
+// Bonus grants extra reputation (leaders' workload bonus, §VII-A).
+func (l *Ledger) Bonus(id string, amount float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.reps[id] += amount
+}
+
+// Len returns the number of tracked nodes.
+func (l *Ledger) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.reps)
+}
+
+// Snapshot returns a copy of the table.
+func (l *Ledger) Snapshot() map[string]float64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make(map[string]float64, len(l.reps))
+	for k, v := range l.reps {
+		out[k] = v
+	}
+	return out
+}
+
+// TopK returns the k identities with the highest reputation among the
+// given candidates, ties broken lexicographically — the referee
+// committee's leader-selection rule (§IV-F: "chooses m nodes with the
+// highest reputation as new leaders").
+func (l *Ledger) TopK(candidates []string, k int) []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	sorted := append([]string(nil), candidates...)
+	sort.Slice(sorted, func(i, j int) bool {
+		ri, rj := l.reps[sorted[i]], l.reps[sorted[j]]
+		if ri != rj {
+			return ri > rj
+		}
+		return sorted[i] < sorted[j]
+	})
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[:k]
+}

@@ -1,0 +1,290 @@
+package reputation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCosineScoreExtremes(t *testing.T) {
+	dec := VoteVector{Yes, No, Yes, Yes}
+	same := VoteVector{Yes, No, Yes, Yes}
+	opp := VoteVector{No, Yes, No, No}
+
+	if s, _ := CosineScore(same, dec); math.Abs(s-1) > 1e-12 {
+		t.Fatalf("identical vote scores %g, want 1", s)
+	}
+	if s, _ := CosineScore(opp, dec); math.Abs(s+1) > 1e-12 {
+		t.Fatalf("opposite vote scores %g, want -1", s)
+	}
+}
+
+func TestCosineScoreUnknowns(t *testing.T) {
+	dec := VoteVector{Yes, No, Yes, Yes}
+	allUnknown := VoteVector{Unknown, Unknown, Unknown, Unknown}
+	if s, _ := CosineScore(allUnknown, dec); s != 0 {
+		t.Fatalf("all-Unknown scores %g, want 0", s)
+	}
+	// Partially unknown: fewer dimensions counted, score between 0 and 1.
+	partial := VoteVector{Yes, Unknown, Unknown, Unknown}
+	s, _ := CosineScore(partial, dec)
+	if s <= 0 || s >= 1 {
+		t.Fatalf("partial vote scores %g, want in (0,1)", s)
+	}
+	want := 1.0 / (1 * 2) // dot=1, |v|=1, |d|=2
+	if math.Abs(s-want) > 1e-12 {
+		t.Fatalf("partial vote scores %g, want %g", s, want)
+	}
+}
+
+func TestCosineScoreLengthMismatch(t *testing.T) {
+	if _, err := CosineScore(VoteVector{Yes}, VoteVector{Yes, No}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestCosineScoreRangeProperty(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vote := make(VoteVector, len(raw))
+		dec := make(VoteVector, len(raw))
+		for i, b := range raw {
+			vote[i] = Vote(b%2) - Vote((b>>1)%2) // in {-1,0,1}
+			dec[i] = Vote((b>>2)%2) - Vote((b>>3)%2)
+		}
+		s, err := CosineScore(vote, dec)
+		return err == nil && s >= -1-1e-9 && s <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecisionVectorMajority(t *testing.T) {
+	votes := []VoteVector{
+		{Yes, Yes, No},
+		{Yes, No, No},
+		{Yes, Unknown, Yes},
+		{No, Yes, Unknown},
+		{Yes, Unknown, Unknown},
+	}
+	dec, err := DecisionVector(votes, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tx0: 4 Yes of 5 → Yes. tx1: 2 Yes → No. tx2: 1 Yes → No.
+	want := VoteVector{Yes, No, No}
+	for i := range want {
+		if dec[i] != want[i] {
+			t.Fatalf("decision = %v, want %v", dec, want)
+		}
+	}
+}
+
+func TestDecisionVectorCountsAbsenteesAsNo(t *testing.T) {
+	// Committee of 5 with only 2 replies: 2 Yes is not > 5/2.
+	votes := []VoteVector{{Yes}, {Yes}}
+	dec, err := DecisionVector(votes, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec[0] != No {
+		t.Fatal("2/5 Yes should not pass")
+	}
+}
+
+func TestDecisionVectorErrors(t *testing.T) {
+	if _, err := DecisionVector(nil, 3); err == nil {
+		t.Fatal("empty votes accepted")
+	}
+	if _, err := DecisionVector([]VoteVector{{Yes}, {Yes, No}}, 3); err == nil {
+		t.Fatal("ragged votes accepted")
+	}
+}
+
+func TestGProperties(t *testing.T) {
+	if g := G(0); math.Abs(g-1) > 1e-12 {
+		t.Fatalf("g(0) = %g, want 1", g)
+	}
+	// Continuity at 0.
+	if math.Abs(G(-1e-12)-G(1e-12)) > 1e-9 {
+		t.Fatal("g discontinuous at 0")
+	}
+	// Monotone increasing.
+	prev := math.Inf(-1)
+	for x := -10.0; x <= 20; x += 0.25 {
+		g := G(x)
+		if g <= prev {
+			t.Fatalf("g not strictly increasing at %g", x)
+		}
+		prev = g
+	}
+	// Paper-described shape: negative reputation maps near zero.
+	if G(-5) > 0.01 {
+		t.Fatalf("g(-5) = %g, want near 0", G(-5))
+	}
+	// Positive branch: 1 + ln(x+1).
+	if math.Abs(G(math.E-1)-2) > 1e-12 {
+		t.Fatalf("g(e-1) = %g, want 2", G(math.E-1))
+	}
+}
+
+func TestDistributeRewardsSumsExactly(t *testing.T) {
+	reps := []float64{-2, 0, 1, 5, 10}
+	const fee = 1000
+	out := DistributeRewards(reps, fee)
+	var sum uint64
+	for _, r := range out {
+		sum += r
+	}
+	if sum != fee {
+		t.Fatalf("rewards sum to %d, want %d", sum, fee)
+	}
+	// Higher reputation never earns less.
+	for i := 1; i < len(out); i++ {
+		if out[i] < out[i-1] {
+			t.Fatalf("monotonicity violated: %v", out)
+		}
+	}
+	// Zero-reputation node still earns something (g(0)=1 > 0).
+	if out[1] == 0 {
+		t.Fatal("zero-reputation node got nothing")
+	}
+}
+
+func TestDistributeRewardsEdgeCases(t *testing.T) {
+	if out := DistributeRewards(nil, 100); out != nil {
+		t.Fatal("nil input should give nil output")
+	}
+	out := DistributeRewards([]float64{1, 2}, 0)
+	if out[0] != 0 || out[1] != 0 {
+		t.Fatal("zero fee should distribute zeros")
+	}
+}
+
+func TestDistributeRewardsDeterministic(t *testing.T) {
+	reps := []float64{0.5, 0.5, 0.5} // equal weights, 100 not divisible by 3
+	a := DistributeRewards(reps, 100)
+	b := DistributeRewards(reps, 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("distribution not deterministic")
+		}
+	}
+	var sum uint64
+	for _, r := range a {
+		sum += r
+	}
+	if sum != 100 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestDistributeRewardsExactnessProperty(t *testing.T) {
+	f := func(raw []int8, feeRaw uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		reps := make([]float64, len(raw))
+		for i, b := range raw {
+			reps[i] = float64(b) / 8
+		}
+		fee := uint64(feeRaw)
+		out := DistributeRewards(reps, fee)
+		var sum uint64
+		for _, r := range out {
+			sum += r
+		}
+		return sum == fee
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPunishLeaderCubeRoot(t *testing.T) {
+	if got := PunishLeader(27); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("punish(27) = %g, want 3", got)
+	}
+	// Mapped revenue drops to roughly a third for large reputations
+	// (paper: "reduce to about one-third of the original mapped value").
+	rep := 1000.0
+	ratio := G(PunishLeader(rep)) / G(rep)
+	if ratio < 0.25 || ratio > 0.45 {
+		t.Fatalf("mapped-value ratio %g, want ≈ 1/3", ratio)
+	}
+	// Robustness: punishing non-positive reputation must not increase it.
+	if PunishLeader(-8) >= -8 {
+		t.Fatal("punishing negative reputation raised it")
+	}
+	if PunishLeader(0) >= 0 {
+		t.Fatal("punishing zero reputation raised it")
+	}
+}
+
+func TestLedgerBasics(t *testing.T) {
+	l := NewLedger()
+	if l.Get("a") != 0 {
+		t.Fatal("fresh node should have reputation 0")
+	}
+	l.AddScore("a", 0.5)
+	l.AddScore("a", 0.25)
+	if math.Abs(l.Get("a")-0.75) > 1e-12 {
+		t.Fatalf("rep = %g", l.Get("a"))
+	}
+	l.Bonus("a", 1)
+	if math.Abs(l.Get("a")-1.75) > 1e-12 {
+		t.Fatalf("rep after bonus = %g", l.Get("a"))
+	}
+	l.Punish("a")
+	if math.Abs(l.Get("a")-math.Cbrt(1.75)) > 1e-12 {
+		t.Fatalf("rep after punish = %g", l.Get("a"))
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	snap := l.Snapshot()
+	snap["a"] = 99
+	if l.Get("a") == 99 {
+		t.Fatal("snapshot not isolated")
+	}
+}
+
+func TestLedgerTopK(t *testing.T) {
+	l := NewLedger()
+	l.AddScore("alice", 3)
+	l.AddScore("bob", 5)
+	l.AddScore("carol", 1)
+	l.AddScore("dave", 5)
+	top := l.TopK([]string{"alice", "bob", "carol", "dave"}, 2)
+	// bob and dave tie at 5; lexicographic tie-break puts bob first.
+	if len(top) != 2 || top[0] != "bob" || top[1] != "dave" {
+		t.Fatalf("TopK = %v", top)
+	}
+	all := l.TopK([]string{"alice", "bob"}, 10)
+	if len(all) != 2 {
+		t.Fatalf("TopK overflow = %v", all)
+	}
+	// Candidates not in the ledger rank at 0, after positives.
+	top3 := l.TopK([]string{"alice", "zeta", "carol"}, 3)
+	if top3[0] != "alice" || top3[2] != "zeta" {
+		t.Fatalf("TopK with unknown = %v", top3)
+	}
+}
+
+func TestScoreAll(t *testing.T) {
+	dec := VoteVector{Yes, No}
+	votes := []VoteVector{{Yes, No}, {No, Yes}, {Unknown, Unknown}}
+	scores, err := ScoreAll(votes, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scores[0]-1) > 1e-12 || math.Abs(scores[1]+1) > 1e-12 || scores[2] != 0 {
+		t.Fatalf("scores = %v", scores)
+	}
+	if _, err := ScoreAll([]VoteVector{{Yes}}, dec); err == nil {
+		t.Fatal("ragged ScoreAll accepted")
+	}
+}

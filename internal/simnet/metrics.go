@@ -1,0 +1,183 @@
+package simnet
+
+import (
+	"sort"
+	"sync"
+)
+
+// Counter accumulates message and byte totals.
+type Counter struct {
+	Messages uint64
+	Bytes    uint64
+}
+
+func (c *Counter) add(size int) {
+	c.Messages++
+	c.Bytes += uint64(size)
+}
+
+// Add merges another counter into this one.
+func (c *Counter) Add(o Counter) {
+	c.Messages += o.Messages
+	c.Bytes += o.Bytes
+}
+
+type phaseNode struct {
+	phase string
+	node  NodeID
+}
+
+// Metrics accounts traffic per phase, per node, and per tag. The protocol
+// layer labels phases (SetPhase) and later aggregates per-node counters by
+// role to reproduce Table II.
+type Metrics struct {
+	mu       sync.Mutex
+	phase    string
+	sent     map[phaseNode]*Counter
+	received map[phaseNode]*Counter
+	byTag    map[string]*Counter
+	total    Counter
+}
+
+// NewMetrics returns empty accounting.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		phase:    "init",
+		sent:     make(map[phaseNode]*Counter),
+		received: make(map[phaseNode]*Counter),
+		byTag:    make(map[string]*Counter),
+	}
+}
+
+// SetPhase labels all subsequent traffic with the given phase name.
+func (m *Metrics) SetPhase(phase string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.phase = phase
+}
+
+// Phase returns the current phase label.
+func (m *Metrics) Phase() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.phase
+}
+
+func (m *Metrics) recordSend(msg Message) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := phaseNode{m.phase, msg.From}
+	c := m.sent[k]
+	if c == nil {
+		c = &Counter{}
+		m.sent[k] = c
+	}
+	c.add(msg.Size)
+	tc := m.byTag[msg.Tag]
+	if tc == nil {
+		tc = &Counter{}
+		m.byTag[msg.Tag] = tc
+	}
+	tc.add(msg.Size)
+	m.total.add(msg.Size)
+}
+
+func (m *Metrics) recordRecv(msg Message) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := phaseNode{m.phase, msg.To}
+	c := m.received[k]
+	if c == nil {
+		c = &Counter{}
+		m.received[k] = c
+	}
+	c.add(msg.Size)
+}
+
+// Sent returns the sender-side counter for (phase, node).
+func (m *Metrics) Sent(phase string, node NodeID) Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c := m.sent[phaseNode{phase, node}]; c != nil {
+		return *c
+	}
+	return Counter{}
+}
+
+// Received returns the receiver-side counter for (phase, node).
+func (m *Metrics) Received(phase string, node NodeID) Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c := m.received[phaseNode{phase, node}]; c != nil {
+		return *c
+	}
+	return Counter{}
+}
+
+// SentByNodes sums sender-side counters for a phase over a node set.
+func (m *Metrics) SentByNodes(phase string, nodes []NodeID) Counter {
+	var sum Counter
+	for _, id := range nodes {
+		sum.Add(m.Sent(phase, id))
+	}
+	return sum
+}
+
+// TrafficByNodes sums sent+received counters for a phase over a node set —
+// the "communication complexity" of the role in that phase.
+func (m *Metrics) TrafficByNodes(phase string, nodes []NodeID) Counter {
+	var sum Counter
+	for _, id := range nodes {
+		sum.Add(m.Sent(phase, id))
+		sum.Add(m.Received(phase, id))
+	}
+	return sum
+}
+
+// Tag returns the counter for a message tag.
+func (m *Metrics) Tag(tag string) Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c := m.byTag[tag]; c != nil {
+		return *c
+	}
+	return Counter{}
+}
+
+// Tags lists observed tags in sorted order.
+func (m *Metrics) Tags() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.byTag))
+	for t := range m.byTag {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Total returns whole-simulation traffic.
+func (m *Metrics) Total() Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
+
+// Phases lists phase labels that saw traffic, sorted.
+func (m *Metrics) Phases() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	set := map[string]bool{}
+	for k := range m.sent {
+		set[k.phase] = true
+	}
+	for k := range m.received {
+		set[k.phase] = true
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,375 @@
+// Package simnet is a deterministic discrete-event network simulator
+// implementing the paper's network model (§III-B): synchronous links with
+// delay bound Δ inside a committee, synchronous links with a larger bound Γ
+// among key members (leaders, partial sets, referee members), and
+// partially-synchronous links everywhere else. The adversary's power to
+// reorder honest messages (§III-C) is modelled by per-message delay jitter
+// within the synchrony bound, drawn from the simulation's seeded RNG.
+//
+// The simulator is the measurement substrate for Table II: it accounts
+// messages and bytes per (phase, node), which the protocol layer aggregates
+// per role.
+//
+// Events at the same virtual timestamp destined to different nodes are
+// independent and may be executed on a worker pool (SetParallelism);
+// deliveries they generate are merged in deterministic order, so a seeded
+// run produces identical results at any parallelism level.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Time is virtual simulation time, in abstract ticks.
+type Time int64
+
+// NodeID identifies a simulated node.
+type NodeID int32
+
+// Message is a delivered protocol message.
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Tag     string // protocol tag, e.g. "PROPOSE"; also the metrics key
+	Payload any
+	Size    int // abstract wire size in bytes, for traffic accounting
+}
+
+// Handler processes one delivered message. All sends and timers must go
+// through ctx so parallel execution stays deterministic.
+type Handler func(ctx *Context, msg Message)
+
+// LinkClass is the synchrony class of a link, per §III-B.
+type LinkClass int
+
+const (
+	// LinkIntra is a well-connected intra-committee link (delay ≤ Δ).
+	LinkIntra LinkClass = iota
+	// LinkKey connects two key members across committees (delay ≤ Γ).
+	LinkKey
+	// LinkPartial is any other link: partially synchronous.
+	LinkPartial
+)
+
+// Latency configures per-class delay bounds. Every message on a class-X
+// link is delivered after a delay drawn uniformly from [1, bound(X)] —
+// the adversary choosing the schedule within the synchrony bound.
+type Latency struct {
+	Delta         Time // Δ: intra-committee bound
+	Gamma         Time // Γ: key-member bound (Γ ≥ Δ in the paper)
+	PartialMax    Time // worst-case partial-synchrony delay used in simulation
+	Classify      func(from, to NodeID) LinkClass
+	Deterministic bool // if true, always use the full bound (no jitter)
+}
+
+// DefaultLatency returns the bounds used throughout the benchmarks:
+// Δ = 10, Γ = 40, partial max = 100, with all links intra unless a
+// classifier is installed.
+func DefaultLatency() Latency {
+	return Latency{Delta: 10, Gamma: 40, PartialMax: 100}
+}
+
+func (l Latency) bound(from, to NodeID) Time {
+	class := LinkIntra
+	if l.Classify != nil {
+		class = l.Classify(from, to)
+	}
+	switch class {
+	case LinkIntra:
+		return l.Delta
+	case LinkKey:
+		return l.Gamma
+	default:
+		return l.PartialMax
+	}
+}
+
+type eventKind int
+
+const (
+	evMessage eventKind = iota
+	evTimer
+)
+
+type event struct {
+	at   Time
+	seq  uint64 // tie-break for determinism
+	kind eventKind
+	node NodeID // destination (message) or owner (timer)
+	msg  Message
+	fn   func(*Context)
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Network is the simulator instance.
+type Network struct {
+	latency     Latency
+	rng         *rand.Rand
+	now         Time
+	seq         uint64
+	events      eventHeap
+	handlers    map[NodeID]Handler
+	down        map[NodeID]bool // crashed/offline nodes drop all traffic
+	metrics     *Metrics
+	parallelism int
+	delivered   uint64
+}
+
+// New creates a network with the given latency model and seed.
+func New(latency Latency, seed int64) *Network {
+	n := &Network{
+		latency:     latency,
+		rng:         rand.New(rand.NewSource(seed)),
+		handlers:    make(map[NodeID]Handler),
+		down:        make(map[NodeID]bool),
+		metrics:     NewMetrics(),
+		parallelism: 1,
+	}
+	heap.Init(&n.events)
+	return n
+}
+
+// SetParallelism sets the worker count for same-timestamp event batches.
+// k ≤ 0 selects GOMAXPROCS.
+func (n *Network) SetParallelism(k int) {
+	if k <= 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	n.parallelism = k
+}
+
+// Register installs the handler for a node. Re-registering replaces it
+// (used when a node changes role between rounds).
+func (n *Network) Register(id NodeID, h Handler) {
+	n.handlers[id] = h
+}
+
+// SetDown marks a node offline (true) or online (false). Offline nodes
+// silently drop incoming messages and their timers do not fire — the
+// paper's "simply pretending to be offline" behaviour.
+func (n *Network) SetDown(id NodeID, down bool) {
+	n.down[id] = down
+}
+
+// Metrics exposes the traffic accounting.
+func (n *Network) Metrics() *Metrics { return n.metrics }
+
+// Now returns the current virtual time.
+func (n *Network) Now() Time { return n.now }
+
+// Delivered returns the total number of messages delivered so far.
+func (n *Network) Delivered() uint64 { return n.delivered }
+
+func (n *Network) push(ev *event) {
+	ev.seq = n.seq
+	n.seq++
+	heap.Push(&n.events, ev)
+}
+
+// Send enqueues a message from outside any handler (e.g. test drivers and
+// round orchestration). Delay is drawn from the link's synchrony bound.
+func (n *Network) Send(from, to NodeID, tag string, payload any, size int) {
+	n.enqueueMessage(Message{From: from, To: to, Tag: tag, Payload: payload, Size: size})
+}
+
+// After schedules fn on the given node after delay d.
+func (n *Network) After(node NodeID, d Time, fn func(*Context)) {
+	if d < 1 {
+		d = 1
+	}
+	n.push(&event{at: n.now + d, kind: evTimer, node: node, fn: fn})
+}
+
+func (n *Network) delay(from, to NodeID) Time {
+	b := n.latency.bound(from, to)
+	if b < 1 {
+		b = 1
+	}
+	if n.latency.Deterministic {
+		return b
+	}
+	return Time(n.rng.Int63n(int64(b))) + 1
+}
+
+func (n *Network) enqueueMessage(msg Message) {
+	n.metrics.recordSend(msg)
+	d := n.delay(msg.From, msg.To)
+	n.push(&event{at: n.now + d, kind: evMessage, node: msg.To, msg: msg})
+}
+
+// Context is the per-delivery effect buffer handed to handlers. Handlers
+// must route all sends and timers through it; effects are applied in
+// deterministic order after the (possibly parallel) batch completes.
+type Context struct {
+	Node NodeID
+	now  Time
+	out  []effect
+}
+
+type effect struct {
+	isTimer bool
+	msg     Message
+	delay   Time
+	fn      func(*Context)
+}
+
+// Now returns the virtual time of the current delivery.
+func (c *Context) Now() Time { return c.now }
+
+// Send transmits a message from the handling node.
+func (c *Context) Send(to NodeID, tag string, payload any, size int) {
+	c.out = append(c.out, effect{msg: Message{From: c.Node, To: to, Tag: tag, Payload: payload, Size: size}})
+}
+
+// Broadcast sends the same message to each destination.
+func (c *Context) Broadcast(tos []NodeID, tag string, payload any, size int) {
+	for _, to := range tos {
+		c.Send(to, tag, payload, size)
+	}
+}
+
+// After schedules fn on this node after d ticks.
+func (c *Context) After(d Time, fn func(*Context)) {
+	c.out = append(c.out, effect{isTimer: true, delay: d, fn: fn})
+}
+
+// Step processes every event scheduled at the earliest pending timestamp.
+// It returns false when no events remain.
+func (n *Network) Step() bool {
+	if n.events.Len() == 0 {
+		return false
+	}
+	t := n.events[0].at
+	n.now = t
+	var batch []*event
+	for n.events.Len() > 0 && n.events[0].at == t {
+		batch = append(batch, heap.Pop(&n.events).(*event))
+	}
+	ctxs := make([]*Context, len(batch))
+	run := func(i int) {
+		ev := batch[i]
+		if n.down[ev.node] {
+			return
+		}
+		ctx := &Context{Node: ev.node, now: t}
+		switch ev.kind {
+		case evMessage:
+			h, ok := n.handlers[ev.node]
+			if !ok {
+				return
+			}
+			n.metrics.recordRecv(ev.msg)
+			h(ctx, ev.msg)
+		case evTimer:
+			ev.fn(ctx)
+		}
+		ctxs[i] = ctx
+	}
+
+	if n.parallelism > 1 && len(batch) > 1 {
+		// Events in a batch target distinct deliveries; group by node so
+		// one node's handler never runs concurrently with itself.
+		byNode := make(map[NodeID][]int)
+		var order []NodeID
+		for i, ev := range batch {
+			if _, seen := byNode[ev.node]; !seen {
+				order = append(order, ev.node)
+			}
+			byNode[ev.node] = append(byNode[ev.node], i)
+		}
+		sem := make(chan struct{}, n.parallelism)
+		var wg sync.WaitGroup
+		for _, id := range order {
+			idxs := byNode[id]
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(idxs []int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				for _, i := range idxs {
+					run(i)
+				}
+			}(idxs)
+		}
+		wg.Wait()
+	} else {
+		for i := range batch {
+			run(i)
+		}
+	}
+
+	// Apply effects in deterministic (event seq) order. Delivery counts
+	// for sends happen here so the metrics order is deterministic too.
+	for _, ctx := range ctxs {
+		if ctx == nil {
+			continue
+		}
+		for _, ef := range ctx.out {
+			if ef.isTimer {
+				d := ef.delay
+				if d < 1 {
+					d = 1
+				}
+				n.push(&event{at: t + d, kind: evTimer, node: ctx.Node, fn: ef.fn})
+			} else {
+				n.enqueueMessage(ef.msg)
+			}
+		}
+	}
+	n.delivered += uint64(len(batch))
+	return true
+}
+
+// Run processes events until the queue is empty or virtual time would
+// exceed `until` (0 means no limit). It returns the number of events
+// processed.
+func (n *Network) Run(until Time) uint64 {
+	start := n.delivered
+	for n.events.Len() > 0 {
+		if until > 0 && n.events[0].at > until {
+			break
+		}
+		n.Step()
+	}
+	return n.delivered - start
+}
+
+// RunUntilIdle drains the event queue completely.
+func (n *Network) RunUntilIdle() uint64 { return n.Run(0) }
+
+// Pending returns the number of queued events (for tests).
+func (n *Network) Pending() int { return n.events.Len() }
+
+// String summarises the simulator state.
+func (n *Network) String() string {
+	return fmt.Sprintf("simnet{t=%d, pending=%d, delivered=%d}", n.now, n.events.Len(), n.delivered)
+}
+
+// Sort helper used by higher layers for canonical node sets.
+func SortNodeIDs(ids []NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
