@@ -32,6 +32,7 @@ func main() {
 	noRecovery := flag.Bool("no-recovery", false, "disable leader re-selection (RapidChain-style baseline)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	par := flag.Int("parallel", 1, "simnet worker pool size (0 = GOMAXPROCS)")
+	pipelined := flag.Bool("pipelined", false, "run rounds as a concurrent stage pipeline (§IV overlap)")
 	ed := flag.Bool("ed25519", false, "use real Ed25519 signatures (slower)")
 	top := flag.Int("top", 5, "reputation leaderboard size")
 	flag.Parse()
@@ -45,6 +46,7 @@ func main() {
 	p.DisableRecovery = *noRecovery
 	p.Seed = *seed
 	p.Parallelism = *par
+	p.Pipelined = *pipelined
 	if *ed {
 		p.Scheme = consensus.Ed25519Scheme{}
 	}

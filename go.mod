@@ -1,0 +1,3 @@
+module cycledger
+
+go 1.24

@@ -1,138 +1,59 @@
 package ledger
 
-import (
-	"fmt"
-	"sort"
-	"sync"
-)
-
 // UTXOView is read access to a set of unspent outputs.
 type UTXOView interface {
 	// Get returns the output at the given outpoint if it is unspent.
 	Get(OutPoint) (Output, bool)
 }
 
-// UTXOSet is a mutable set of unspent transaction outputs. It is safe for
-// concurrent use; committees processing disjoint shards share one set in
-// simulations without contention on disjoint keys.
+// defaultStripes is the lock-stripe count behind the compatibility
+// UTXOSet: enough to spread contention in tests and tools that still use
+// the classic type, without the caller having to pick a shard count.
+const defaultStripes = 16
+
+// UTXOSet is the classic single-set API, kept as a compatibility wrapper
+// around a lock-striped ShardedStore. It is safe for concurrent use; new
+// code that knows its shard count should use NewShardedStore directly so
+// the striping matches the protocol's committee layout.
 type UTXOSet struct {
-	mu   sync.RWMutex
-	utxo map[OutPoint]Output
+	s *ShardedStore
 }
 
 // NewUTXOSet returns an empty set.
 func NewUTXOSet() *UTXOSet {
-	return &UTXOSet{utxo: make(map[OutPoint]Output)}
+	return &UTXOSet{s: NewShardedStore(defaultStripes)}
 }
 
 // Get implements UTXOView.
-func (s *UTXOSet) Get(op OutPoint) (Output, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	o, ok := s.utxo[op]
-	return o, ok
-}
+func (s *UTXOSet) Get(op OutPoint) (Output, bool) { return s.s.Get(op) }
 
 // Add inserts an unspent output. Inserting an existing outpoint is an
 // error: outpoints are unique by construction.
-func (s *UTXOSet) Add(op OutPoint, out Output) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, exists := s.utxo[op]; exists {
-		return fmt.Errorf("ledger: outpoint %v already exists", op)
-	}
-	s.utxo[op] = out
-	return nil
-}
+func (s *UTXOSet) Add(op OutPoint, out Output) error { return s.s.Add(op, out) }
 
 // Spend removes an unspent output, failing if it is absent.
-func (s *UTXOSet) Spend(op OutPoint) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, exists := s.utxo[op]; !exists {
-		return fmt.Errorf("ledger: outpoint %v not found or already spent", op)
-	}
-	delete(s.utxo, op)
-	return nil
-}
+func (s *UTXOSet) Spend(op OutPoint) error { return s.s.Spend(op) }
 
 // Len returns the number of unspent outputs.
-func (s *UTXOSet) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.utxo)
-}
+func (s *UTXOSet) Len() int { return s.s.Len() }
 
 // TotalValue sums all unspent amounts (conservation checks in tests).
-func (s *UTXOSet) TotalValue() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var total uint64
-	for _, o := range s.utxo {
-		total += o.Amount
-	}
-	return total
-}
+func (s *UTXOSet) TotalValue() uint64 { return s.s.TotalValue() }
 
 // Snapshot returns a deep copy, used to give each committee an isolated
 // view of its shard state.
 func (s *UTXOSet) Snapshot() *UTXOSet {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	cp := NewUTXOSet()
-	for op, o := range s.utxo {
-		cp.utxo[op] = o
-	}
-	return cp
+	return &UTXOSet{s: s.s.Snapshot()}
 }
 
 // OutpointsOfShard lists the outpoints whose owner belongs to the given
 // shard, in deterministic order (sorted by outpoint), so committees can
 // build reproducible Remaining-UTXO lists.
 func (s *UTXOSet) OutpointsOfShard(shard, m uint64) []OutPoint {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var ops []OutPoint
-	for op, o := range s.utxo {
-		if ShardOf(o.Owner, m) == shard {
-			ops = append(ops, op)
-		}
-	}
-	sort.Slice(ops, func(i, j int) bool {
-		a, b := ops[i], ops[j]
-		for k := range a.Tx {
-			if a.Tx[k] != b.Tx[k] {
-				return a.Tx[k] < b.Tx[k]
-			}
-		}
-		return a.Index < b.Index
-	})
-	return ops
+	return s.s.OutpointsOfShard(shard, m)
 }
 
 // ApplyTx atomically spends the transaction's inputs and adds its outputs.
 // It assumes the transaction has already passed Validate; it fails (without
 // partial effect) if any input is missing.
-func (s *UTXOSet) ApplyTx(tx *Tx) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, in := range tx.Inputs {
-		if _, ok := s.utxo[in]; !ok {
-			return fmt.Errorf("ledger: apply: input %v missing", in)
-		}
-	}
-	id := tx.ID()
-	for i := range tx.Outputs {
-		op := OutPoint{Tx: id, Index: uint32(i)}
-		if _, exists := s.utxo[op]; exists {
-			return fmt.Errorf("ledger: apply: output %v already exists", op)
-		}
-	}
-	for _, in := range tx.Inputs {
-		delete(s.utxo, in)
-	}
-	for i, out := range tx.Outputs {
-		s.utxo[OutPoint{Tx: id, Index: uint32(i)}] = out
-	}
-	return nil
-}
+func (s *UTXOSet) ApplyTx(tx *Tx) error { return s.s.ApplyTx(tx) }

@@ -67,11 +67,12 @@ func Validate(tx *Tx, view UTXOView) (fee uint64, err error) {
 }
 
 // ValidateBatch validates a list of transactions sequentially against a
-// snapshot, applying each valid one so intra-batch double spends are
-// caught. It returns the valid transactions, total fees, and a parallel
+// copy-on-write overlay of the base view, applying each valid one so
+// intra-batch double spends are caught, without mutating (or deep-copying)
+// the base. It returns the valid transactions, total fees, and a parallel
 // slice of errors (nil for accepted transactions).
-func ValidateBatch(txs []*Tx, base *UTXOSet) (valid []*Tx, fees uint64, errs []error) {
-	view := base.Snapshot()
+func ValidateBatch(txs []*Tx, base UTXOView) (valid []*Tx, fees uint64, errs []error) {
+	view := NewOverlay(base)
 	errs = make([]error, len(txs))
 	for i, tx := range txs {
 		fee, err := Validate(tx, view)

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"cycledger/internal/chain"
 	"cycledger/internal/committee"
@@ -28,13 +28,16 @@ type RecoveryEvent struct {
 
 // RoundReport summarises one protocol round.
 type RoundReport struct {
-	Round          uint64
-	IntraIncluded  int
-	CrossIncluded  int
-	Rejected       int
-	Fees           uint64
-	Recoveries     []RecoveryEvent
-	Participants   int
+	Round         uint64
+	IntraIncluded int
+	CrossIncluded int
+	Rejected      int
+	Fees          uint64
+	Recoveries    []RecoveryEvent
+	Participants  int
+	// Duration is the round's simulated latency. Sequential engines pay
+	// the sum of all phase spans; with Params.Pipelined it is the critical
+	// path of the overlapped stage schedule (see pipelinedDuration).
 	Duration       simnet.Time
 	Messages       uint64
 	Bytes          uint64
@@ -59,7 +62,7 @@ type Engine struct {
 	nodes []*Node
 
 	reput  *reputation.Ledger
-	utxo   *ledger.UTXOSet
+	utxo   ledger.Store
 	gen    *workload.Generator
 	group  *pvss.Group
 	chain  *chain.Chain
@@ -71,21 +74,24 @@ type Engine struct {
 	nextRoster *Roster
 	reports    []*RoundReport
 
-	crossLists map[uint64]map[uint64][]*ledger.Tx // input shard → output shard → txs
-	offered    []*ledger.Tx
-	screenedMu sync.Mutex
-	screened   int
+	// Per-round pipeline state (see pipeline.go for the stage graph).
+	work        *routedWork            // routed work lists + precomputed honest verdicts
+	nextBatch   []*ledger.Tx           // prefetched by the pipeline's prefetch stage
+	powSols     []powEntry             // participation-puzzle solutions, one per node
+	pending     *pendingBlock          // assembled-but-uncertified block state
+	stageSpans  map[string]simnet.Time // per-network-stage virtual spans
+	prevCertify simnet.Time            // previous round's certify span (cross-round overlap)
+	screened    atomic.Int64           // §VIII-A pre-screen drops (handler hot path)
 }
 
-// noteScreened tallies §VIII-A pre-screen drops (called from handlers,
-// which may run on the simnet worker pool).
+// noteScreened tallies §VIII-A pre-screen drops. It is called from
+// handlers that may run on the simnet worker pool, so it must stay
+// lock-free: a single atomic add, folded into the round report when the
+// round closes.
 func (e *Engine) noteScreened(n int) {
-	if n <= 0 {
-		return
+	if n > 0 {
+		e.screened.Add(int64(n))
 	}
-	e.screenedMu.Lock()
-	e.screened += n
-	e.screenedMu.Unlock()
 }
 
 // NewEngine builds the node population, genesis state, and the round-1
@@ -99,7 +105,7 @@ func NewEngine(p Params) (*Engine, error) {
 		P:     p,
 		rng:   rand.New(rand.NewSource(p.Seed)),
 		reput: reputation.NewLedger(),
-		utxo:  ledger.NewUTXOSet(),
+		utxo:  ledger.NewShardedStore(uint64(p.M)),
 		group: pvss.DefaultGroup(),
 		chain: chain.New(),
 	}
@@ -249,8 +255,11 @@ func (e *Engine) IsByzantine(id simnet.NodeID) bool {
 // Reputation exposes the ledger (read-only use in examples and tests).
 func (e *Engine) Reputation() *reputation.Ledger { return e.reput }
 
-// UTXO exposes the global UTXO set.
-func (e *Engine) UTXO() *ledger.UTXOSet { return e.utxo }
+// UTXO exposes the ledger state: a ShardedStore with m lock stripes, so
+// committees working disjoint outpoint sets contend on ~1/m of the locks
+// instead of one global mutex. Stripes are keyed by outpoint hash
+// (StripeOf), not by owner shard — O(1) location without an owner index.
+func (e *Engine) UTXO() ledger.Store { return e.utxo }
 
 // Roster exposes the current round's roster.
 func (e *Engine) Roster() *Roster { return e.roster }
@@ -344,6 +353,15 @@ func (e *Engine) Run() ([]*RoundReport, error) {
 }
 
 // RunRound executes one full protocol round and returns its report.
+//
+// The round is expressed as an explicit stage graph (see roundStages in
+// pipeline.go): network stages form the serial chain config → semicommit →
+// intra → inter → score → select → certify, while CPU-bound stages
+// (workload routing, PoW election work, block assembly, ledger apply,
+// next-round prefetch) hang off that chain by data dependency only. With
+// P.Pipelined the graph is executed concurrently, overlapping the paper's
+// §IV election/processing pipeline; otherwise it runs in topological order,
+// which reproduces the seed engine's sequential behaviour exactly.
 func (e *Engine) RunRound() (*RoundReport, error) {
 	report := &RoundReport{
 		Round:        e.round,
@@ -353,21 +371,16 @@ func (e *Engine) RunRound() (*RoundReport, error) {
 	}
 	start := e.Net.Now()
 
-	e.phaseConfig()
-	e.phaseSemiCommit(report)
-	e.phaseIntra(report)
-	e.phaseInter(report)
-	e.phaseScore(report)
-	e.phaseSelect(report)
-	if err := e.phaseBlock(report); err != nil {
+	if err := runStages(e.roundStages(report), e.P.Pipelined); err != nil {
 		return nil, err
 	}
 
-	report.Duration = e.Net.Now() - start
-	e.screenedMu.Lock()
-	report.Screened = e.screened
-	e.screened = 0
-	e.screenedMu.Unlock()
+	if e.P.Pipelined {
+		report.Duration = e.pipelinedDuration()
+	} else {
+		report.Duration = e.Net.Now() - start
+	}
+	report.Screened = int(e.screened.Swap(0))
 	e.collectTraffic(report)
 	e.reports = append(e.reports, report)
 

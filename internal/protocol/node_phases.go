@@ -136,31 +136,22 @@ func (n *Node) onTxList(ctx *simnet.Context, m TxListMsg) {
 	ctx.Send(n.curLeader, TagVote, vm, len(votes)+n.eng.P.Scheme.SigSize())
 }
 
-// voteOnTxs produces this node's vote vector, honest verdicts transformed
-// by the behaviour strategy. With ParallelBlockGen (§VIII-B) verdicts are
-// computed in list order against a copy-on-write overlay, so chained
-// transactions in one list can both pass.
+// voteOnTxs produces this node's vote vector: the committee's honest
+// verdict vector (precomputed once per shard on the routing worker pool,
+// see Engine.precomputeVerdicts; recomputed only if a byzantine leader
+// substituted a different list) transformed by the behaviour strategy.
+// With ParallelBlockGen (§VIII-B) the honest verdicts are computed in list
+// order against a copy-on-write overlay, so chained transactions in one
+// list can both pass.
 func (n *Node) voteOnTxs(txs []*ledger.Tx) reputation.VoteVector {
-	var view ledger.UTXOView = n.eng.utxo
-	var overlay *ledger.Overlay
-	if n.eng.P.ParallelBlockGen {
-		overlay = ledger.NewOverlay(n.eng.utxo)
-		view = overlay
-	}
+	honest := n.eng.honestVerdicts(n.comID, txs)
 	out := make(reputation.VoteVector, len(txs))
-	for i, tx := range txs {
-		honest := reputation.No
-		if _, err := ledger.Validate(tx, view); err == nil {
-			honest = reputation.Yes
-			if overlay != nil {
-				_ = overlay.ApplyTx(tx)
-			}
-		}
+	for i := range txs {
 		switch n.Behavior.Vote {
 		case VoteHonest:
-			out[i] = honest
+			out[i] = honest[i]
 		case VoteInvert:
-			out[i] = -honest
+			out[i] = -honest[i]
 		case VoteLazy:
 			out[i] = reputation.Unknown
 		case VoteYes:
@@ -258,14 +249,18 @@ func (n *Node) startInter(ctx *simnet.Context) {
 	if n.Behavior.Offline {
 		return
 	}
+	// Iterate targets in sorted order: ranging over the map directly would
+	// enqueue sends (and thus draw their simulated delays) in a
+	// run-dependent order, breaking seeded reproducibility.
+	targets := sortedCommitteeIDs(n.interOut)
 	if !n.eng.P.PreScreenCross {
-		for j, txs := range n.interOut {
-			n.proposeInterOut(ctx, j, txs)
+		for _, j := range targets {
+			n.proposeInterOut(ctx, j, n.interOut[j])
 		}
 		return
 	}
-	for j, txs := range n.interOut {
-		j, txs := j, txs
+	for _, j := range targets {
+		j, txs := j, n.interOut[j]
 		ctx.Send(n.eng.roster.Leaders[j], TagInterQuery,
 			InterQueryMsg{Round: n.eng.round, From: n.comID, To: j, Txs: txs}, txListSize(txs))
 		ctx.After(4*n.eng.lat.Gamma, func(c *simnet.Context) {

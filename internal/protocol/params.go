@@ -52,6 +52,17 @@ type Params struct {
 	// at the referee committee (e.g. under a DoS workload).
 	PreScreenCross bool
 
+	// Pipelined executes each round as a concurrent stage graph instead of
+	// a strict phase sequence: the PoW election work, block assembly,
+	// ledger apply, and next-round workload routing overlap the network
+	// phases they have no data dependency on — the paper's §IV observation
+	// that committee election and transaction processing can proceed in
+	// parallel. Round reports are bit-identical to the sequential
+	// engine's at any parallelism level, except Duration, which becomes
+	// the critical path of the overlapped stage schedule instead of the
+	// sum of the phases.
+	Pipelined bool
+
 	// ParallelBlockGen enables the §VIII-B extension: committee members
 	// evaluate transaction lists in order against a copy-on-write overlay
 	// of the UTXO set, so a transaction spending an earlier transaction's

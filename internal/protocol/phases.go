@@ -7,8 +7,6 @@ import (
 
 	"cycledger/internal/committee"
 	"cycledger/internal/crypto"
-	"cycledger/internal/ledger"
-	"cycledger/internal/pow"
 	"cycledger/internal/pvss"
 	"cycledger/internal/reputation"
 	"cycledger/internal/simnet"
@@ -28,6 +26,12 @@ const maxRecoveryAttempts = 4
 
 // ---------------------------------------------------------------------------
 // Phase 1: committee configuration (§IV-A, Algorithm 2)
+//
+// In the pipelined schedule this stage (together with the semi-commitment
+// exchange) overlaps the previous round's block certification and
+// propagation: it needs only the roster elected in the previous selection
+// phase, never the previous block's content. pipelinedDuration credits
+// that overlap against the round's simulated latency.
 
 func (e *Engine) phaseConfig() {
 	e.setPhase("config")
@@ -127,41 +131,14 @@ func (e *Engine) applyEvictions(report *RoundReport) []uint64 {
 
 // ---------------------------------------------------------------------------
 // Phase 3: intra-committee consensus (§IV-C, Algorithm 5)
+//
+// The batch was routed into per-shard work lists by the workload stage
+// (routing.go), which may overlap the configuration and semi-commitment
+// phases; this phase only primes each leader with its committee's list and
+// drives the vote rounds.
 
 func (e *Engine) phaseIntra(report *RoundReport) {
 	e.setPhase("intra")
-	// Build the round's workload and split it per shard.
-	batch := e.gen.NextBatch(e.P.M * e.P.TxPerCommittee)
-	e.offered = batch
-	intraLists := make(map[uint64][]*ledger.Tx)
-	e.crossLists = make(map[uint64]map[uint64][]*ledger.Tx)
-	for _, tx := range batch {
-		shards := ledger.TouchedShards(tx, e.utxo, e.roster.M)
-		switch {
-		case len(shards) <= 1:
-			k := uint64(0)
-			if len(shards) == 1 {
-				k = shards[0]
-			} else if outs := ledger.OutputShards(tx, e.roster.M); len(outs) > 0 {
-				k = outs[0] // unresolvable inputs: offered to the output shard, voted No
-			}
-			intraLists[k] = append(intraLists[k], tx)
-		default:
-			ins := ledger.InputShards(tx, e.utxo, e.roster.M)
-			i := shards[0]
-			if len(ins) > 0 {
-				i = ins[0]
-			}
-			j := shards[0]
-			if j == i && len(shards) > 1 {
-				j = shards[1]
-			}
-			if e.crossLists[i] == nil {
-				e.crossLists[i] = make(map[uint64][]*ledger.Tx)
-			}
-			e.crossLists[i][j] = append(e.crossLists[i][j], tx)
-		}
-	}
 	pending := make([]uint64, 0, e.roster.M)
 	for k := uint64(0); k < e.roster.M; k++ {
 		pending = append(pending, k)
@@ -169,7 +146,7 @@ func (e *Engine) phaseIntra(report *RoundReport) {
 	for attempt := 0; attempt < maxRecoveryAttempts && len(pending) > 0; attempt++ {
 		for _, k := range pending {
 			leader := e.nodes[e.roster.Leaders[k]]
-			leader.leaderTxs = intraLists[k]
+			leader.leaderTxs = e.work.intra[k]
 			a := attempt
 			e.Net.After(leader.ID, 1, func(ctx *simnet.Context) { leader.startIntra(ctx, a) })
 		}
@@ -180,11 +157,14 @@ func (e *Engine) phaseIntra(report *RoundReport) {
 
 // ---------------------------------------------------------------------------
 // Phase 4: inter-committee consensus (§IV-D)
+//
+// Cross-shard lists come pre-routed (input shard → output shard) from the
+// same one-shot routing pass as the intra lists.
 
 func (e *Engine) phaseInter(report *RoundReport) {
 	e.setPhase("inter")
 	for k := uint64(0); k < e.roster.M; k++ {
-		lists := e.crossLists[k]
+		lists := e.work.cross[k]
 		if len(lists) == 0 {
 			continue
 		}
@@ -240,25 +220,31 @@ func (e *Engine) refereeView() *Node {
 
 // ---------------------------------------------------------------------------
 // Phase 6: referee committee, leaders and partial-set selection (§IV-F)
+//
+// This is the election track of the paper's pipeline: its traffic (PoW
+// submissions, the C_R randomness beacon) touches only referee bookkeeping
+// that the intra/inter/score chain never reads, so in the pipelined
+// schedule the whole stage overlaps transaction processing; only the final
+// reputation-ranked roster build consumes the score results, and that is
+// instantaneous in virtual time.
 
 func (e *Engine) phaseSelect(report *RoundReport) {
 	e.setPhase("select")
-	// Participation PoW: every online node solves the puzzle and submits
-	// the solution to C_R.
-	puzzle := e.powPuzzle()
-	for _, n := range e.nodes {
-		if n.Behavior.Offline {
+	// Participation PoW: every online node submits its puzzle solution to
+	// C_R. The solving itself happened in the pow stage (pipeline.go),
+	// which may overlap the consensus phases; only the submission traffic
+	// belongs to this phase.
+	for i, n := range e.nodes {
+		entry := e.powSols[i]
+		if !entry.ok {
 			continue
 		}
-		sol, _, err := pow.Solve(puzzle, n.Keys.PK, uint64(n.ID)<<32, 1<<22)
-		if err != nil {
-			continue
-		}
-		msg := PowMsg{Round: e.round, Node: n.ID, Solution: sol}
+		msg := PowMsg{Round: e.round, Node: n.ID, Solution: entry.sol}
 		for _, rm := range e.roster.Referee {
 			e.Net.Send(n.ID, rm, TagPow, msg, 48)
 		}
 	}
+	e.powSols = nil
 	e.Net.RunUntilIdle()
 
 	// Distributed randomness via PVSS among a referee quorum; traffic is
@@ -382,7 +368,12 @@ func sortByTicket(ids []simnet.NodeID, ticket func(simnet.NodeID) crypto.Digest)
 }
 
 // ---------------------------------------------------------------------------
-// Phase 7: block generation and propagation (§IV-G)
+// Phase 7: block certification and propagation (§IV-G)
+//
+// Candidate assembly and validation moved to the assemble stage and the
+// ledger apply to the ledger stage (pipeline.go); both are CPU-only and
+// may overlap the reputation/selection phases. This phase consumes their
+// output: it builds the block, has C_R certify it, and propagates it.
 
 func (e *Engine) phaseBlock(report *RoundReport) error {
 	e.setPhase("block")
@@ -390,64 +381,7 @@ func (e *Engine) phaseBlock(report *RoundReport) error {
 		return fmt.Errorf("protocol: selection phase did not produce a roster")
 	}
 	ref := e.refereeView()
-
-	// Assemble the candidate set from certified committee results, in
-	// deterministic order, de-duplicated by transaction ID.
-	var candidates []*ledger.Tx
-	seen := make(map[ledger.TxID]bool)
-	add := func(txs []*ledger.Tx) {
-		for _, tx := range txs {
-			id := tx.ID()
-			if !seen[id] {
-				seen[id] = true
-				candidates = append(candidates, tx)
-			}
-		}
-	}
-	for _, k := range sortedCommitteeIDs(ref.crIntra) {
-		if payload, ok := ref.crIntra[k].Result.Payload.(IntraPayload); ok {
-			add(payload.Txs)
-		}
-	}
-	interKeys := make([]string, 0, len(ref.crInter))
-	for key := range ref.crInter {
-		interKeys = append(interKeys, key)
-	}
-	sort.Strings(interKeys)
-	for _, key := range interKeys {
-		if payload, ok := ref.crInter[key].Result.Payload.(InterPayload); ok {
-			add(payload.Txs)
-		}
-	}
-
-	// Final validation against the global UTXO (cross-shard double spends
-	// across paths die here), classification, and application.
-	crossBefore := make(map[ledger.TxID]bool)
-	for _, tx := range candidates {
-		if ledger.IsCrossShard(tx, e.utxo, e.roster.M) {
-			crossBefore[tx.ID()] = true
-		}
-	}
-	valid, fees, _ := ledger.ValidateBatch(candidates, e.utxo)
-	included := make(map[ledger.TxID]bool, len(valid))
-	for _, tx := range valid {
-		if crossBefore[tx.ID()] {
-			report.CrossIncluded++
-		} else {
-			report.IntraIncluded++
-		}
-		included[tx.ID()] = true
-		if err := e.utxo.ApplyTx(tx); err != nil {
-			return fmt.Errorf("protocol: applying validated tx: %w", err)
-		}
-	}
-	report.Fees = fees
-	for _, tx := range e.offered {
-		if !included[tx.ID()] {
-			report.Rejected++
-			e.gen.Reject(tx)
-		}
-	}
+	valid, fees := e.pending.valid, e.pending.fees
 
 	// Rewards: fees split proportionally to g(reputation) across this
 	// round's participants (§IV-G).

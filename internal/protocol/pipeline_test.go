@@ -1,0 +1,178 @@
+package protocol
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestPipelinedMatchesSequential: the pipelined stage graph must produce
+// byte-for-byte the same round reports as the sequential schedule across
+// multiple rounds — same routing, same votes, same traffic, same rewards
+// (the prefetch stage only pre-generates; routing always classifies
+// against the settled view). Only Duration may differ: the pipelined
+// schedule's critical path must be strictly shorter than the sequential
+// sum of phases, every round.
+func TestPipelinedMatchesSequential(t *testing.T) {
+	seq := DefaultParams()
+	seq.Rounds = 3
+	seq.CrossFrac = 0.5
+	seq.InvalidFrac = 0.1
+	_, a := runEngine(t, seq)
+
+	pip := seq
+	pip.Pipelined = true
+	_, b := runEngine(t, pip)
+
+	for i := range a {
+		if b[i].Duration >= a[i].Duration {
+			t.Fatalf("round %d: pipelined duration %d not shorter than sequential %d",
+				i+1, b[i].Duration, a[i].Duration)
+		}
+		ac, bc := *a[i], *b[i]
+		ac.Duration, bc.Duration = 0, 0
+		if !reflect.DeepEqual(&ac, &bc) {
+			t.Fatalf("pipelined round %d diverged from sequential:\nseq: %+v\npip: %+v", i+1, ac, bc)
+		}
+	}
+}
+
+// TestPipelinedDeterministicAcrossParallelism: a seeded pipelined run must
+// produce byte-identical reports at parallelism 1 and N — concurrency may
+// only change wall-clock time, never results.
+func TestPipelinedDeterministicAcrossParallelism(t *testing.T) {
+	base := DefaultParams()
+	base.Rounds = 3
+	base.Pipelined = true
+	base.CrossFrac = 0.5
+	base.InvalidFrac = 0.1
+
+	var runs [][]*RoundReport
+	for _, par := range []int{1, 4, 0} { // 0 = GOMAXPROCS
+		p := base
+		p.Parallelism = par
+		_, reports := runEngine(t, p)
+		runs = append(runs, reports)
+	}
+	want := renderReports(runs[0])
+	for i, r := range runs[1:] {
+		if got := renderReports(r); got != want {
+			t.Fatalf("parallelism run %d diverged from parallelism 1:\n%s\nvs\n%s", i+1, want, got)
+		}
+		for j := range runs[0] {
+			if !reflect.DeepEqual(runs[0][j], r[j]) {
+				t.Fatalf("round %d reports not deeply equal across parallelism", j+1)
+			}
+		}
+	}
+}
+
+// renderReports serialises reports to a canonical byte string (dereferenced,
+// so pointer identity never leaks into the comparison).
+func renderReports(reports []*RoundReport) string {
+	s := ""
+	for _, r := range reports {
+		s += fmt.Sprintf("%+v\n", *r)
+	}
+	return s
+}
+
+// TestPipelinedConservationAndChain: multi-round pipelined execution must
+// conserve value (minus collected fees) and leave a chain that replays
+// cleanly from genesis.
+func TestPipelinedConservationAndChain(t *testing.T) {
+	p := DefaultParams()
+	p.Rounds = 3
+	p.Pipelined = true
+	p.Parallelism = 4
+	e, reports := runEngine(t, p)
+
+	var fees uint64
+	for _, r := range reports {
+		if r.Throughput() == 0 {
+			t.Fatalf("round %d included nothing", r.Round)
+		}
+		fees += r.Fees
+	}
+	genesis, err := e.GenesisUTXO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.UTXO().TotalValue() + fees; got != genesis.TotalValue() {
+		t.Fatalf("value not conserved: utxo+fees = %d, genesis = %d", got, genesis.TotalValue())
+	}
+	if err := e.Chain().Verify(genesis); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelinedWithExtensionsAndAdversary: the stage graph must stay
+// correct when the §VIII extensions and a byzantine minority are active
+// (pre-screen drops are counted via the atomic screen counter).
+func TestPipelinedWithExtensionsAndAdversary(t *testing.T) {
+	p := DefaultParams()
+	p.Rounds = 2
+	p.Pipelined = true
+	p.Parallelism = 4
+	p.PreScreenCross = true
+	p.ParallelBlockGen = true
+	p.CrossFrac = 0.6
+	p.InvalidFrac = 0.3
+	p.MaliciousFrac = 0.2
+	p.ByzantineBehavior = Behavior{Vote: VoteInvert}
+	_, reports := runEngine(t, p)
+	for _, r := range reports {
+		if r.Throughput() == 0 {
+			t.Fatalf("round %d included nothing", r.Round)
+		}
+	}
+	q := p
+	q.Parallelism = 1
+	_, again := runEngine(t, q)
+	if renderReports(reports) != renderReports(again) {
+		t.Fatal("adversarial pipelined run not deterministic across parallelism")
+	}
+}
+
+// TestScreenedCounterFoldsIntoReport: the §VIII-A pre-screen drop count
+// must land in the report of the round it happened in and reset after.
+func TestScreenedCounterFoldsIntoReport(t *testing.T) {
+	p := DefaultParams()
+	p.Rounds = 2
+	p.PreScreenCross = true
+	p.CrossFrac = 0.7
+	p.InvalidFrac = 0.5
+	_, reports := runEngine(t, p)
+	total := 0
+	for _, r := range reports {
+		total += r.Screened
+	}
+	if total == 0 {
+		t.Fatal("expected pre-screen drops under a heavily invalid cross workload")
+	}
+}
+
+// TestStageGraphDependencyError: an unknown dependency must surface as an
+// error, not a hang.
+func TestStageGraphDependencyError(t *testing.T) {
+	err := runStages([]stage{
+		{name: "a", run: func() error { return nil }},
+		{name: "b", deps: []string{"missing"}, run: func() error { return nil }},
+	}, true)
+	if err == nil {
+		t.Fatal("expected unknown-dependency error")
+	}
+}
+
+// TestStageGraphErrorPropagation: a failing stage must abort its
+// dependents and be reported once.
+func TestStageGraphErrorPropagation(t *testing.T) {
+	ran := false
+	err := runStages([]stage{
+		{name: "a", run: func() error { return fmt.Errorf("boom") }},
+		{name: "b", deps: []string{"a"}, run: func() error { ran = true; return nil }},
+	}, true)
+	if err == nil || ran {
+		t.Fatalf("err=%v ran=%v, want error and skipped dependent", err, ran)
+	}
+}

@@ -1,0 +1,203 @@
+package protocol
+
+import (
+	"runtime"
+	"sync"
+
+	"cycledger/internal/ledger"
+	"cycledger/internal/reputation"
+)
+
+// routedWork is one round's transaction assignment, produced exactly once
+// per round by the workload stage: the offered batch split into per-shard
+// intra lists and (input shard → output shard) cross lists, plus the
+// honest verdict vector for each committee's list, precomputed on a
+// per-shard worker pool against shard-local views so the (identical)
+// honest validation work is not repeated by every committee member inside
+// the network simulation.
+type routedWork struct {
+	offered  []*ledger.Tx
+	intra    map[uint64][]*ledger.Tx
+	cross    map[uint64]map[uint64][]*ledger.Tx
+	verdicts map[uint64]reputation.VoteVector
+}
+
+// stageWorkload builds the round's routed work: it consumes the batch the
+// prefetch stage generated ahead of time (pipelined mode, round ≥ 2) or
+// draws one now, routes it once against the settled ledger view, and
+// precomputes per-shard honest verdicts. Routing always happens here —
+// never in the prefetch stage — so intra/cross classification sees the
+// previous round's applies and the pipelined engine's work lists are
+// identical to the sequential engine's.
+func (e *Engine) stageWorkload() {
+	batch := e.nextBatch
+	e.nextBatch = nil
+	if batch == nil {
+		batch = e.gen.NextBatch(e.P.M * e.P.TxPerCommittee)
+	}
+	w := e.routeBatch(batch)
+	e.precomputeVerdicts(w)
+	e.work = w
+}
+
+// routeBatch classifies every transaction once against the current ledger
+// view (§IV-C/D): intra-shard transactions go to their home committee's
+// list, unresolvable-input transactions are offered to their first output
+// shard (where they will be voted No), and cross-shard transactions are
+// filed under (first input shard → first other touched shard).
+func (e *Engine) routeBatch(batch []*ledger.Tx) *routedWork {
+	w := &routedWork{
+		offered: batch,
+		intra:   make(map[uint64][]*ledger.Tx),
+		cross:   make(map[uint64]map[uint64][]*ledger.Tx),
+	}
+	for _, tx := range batch {
+		shards := ledger.TouchedShards(tx, e.utxo, e.roster.M)
+		switch {
+		case len(shards) <= 1:
+			k := uint64(0)
+			if len(shards) == 1 {
+				k = shards[0]
+			} else if outs := ledger.OutputShards(tx, e.roster.M); len(outs) > 0 {
+				k = outs[0] // unresolvable inputs: offered to the output shard, voted No
+			}
+			w.intra[k] = append(w.intra[k], tx)
+		default:
+			ins := ledger.InputShards(tx, e.utxo, e.roster.M)
+			i := shards[0]
+			if len(ins) > 0 {
+				i = ins[0]
+			}
+			j := shards[0]
+			if j == i && len(shards) > 1 {
+				j = shards[1]
+			}
+			if w.cross[i] == nil {
+				w.cross[i] = make(map[uint64][]*ledger.Tx)
+			}
+			w.cross[i][j] = append(w.cross[i][j], tx)
+		}
+	}
+	return w
+}
+
+// effectiveParallelism resolves P.Parallelism for the engine's CPU worker
+// pools, additionally capped at GOMAXPROCS: unlike simnet's event pool,
+// these stages are pure computation, so workers beyond the physical cores
+// only add scheduling overhead (results are pool-size-independent either
+// way).
+func (e *Engine) effectiveParallelism() int {
+	w := e.P.Parallelism
+	if max := runtime.GOMAXPROCS(0); w <= 0 || w > max {
+		w = max
+	}
+	return w
+}
+
+// precomputeVerdicts computes each committee's honest vote vector on a
+// per-shard worker pool. Every honest member of committee k evaluates the
+// same list in the same order against the same state, so the vector is a
+// per-shard fact, not a per-node one; nodes then derive their actual votes
+// from it through their Behavior (see voteOnTxs). Shard-local speculative
+// views (overlays over the striped store) keep validation free of
+// cross-shard lock contention.
+func (e *Engine) precomputeVerdicts(w *routedWork) {
+	w.verdicts = make(map[uint64]reputation.VoteVector, len(w.intra))
+	shards := make([]uint64, 0, len(w.intra))
+	for k := range w.intra {
+		shards = append(shards, k)
+	}
+	workers := e.effectiveParallelism()
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	if workers <= 1 {
+		for _, k := range shards {
+			w.verdicts[k] = e.honestVerdictFor(w.intra[k])
+		}
+		return
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	next := make(chan uint64, len(shards))
+	for _, k := range shards {
+		next <- k
+	}
+	close(next)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range next {
+				v := e.honestVerdictFor(w.intra[k])
+				mu.Lock()
+				w.verdicts[k] = v
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// honestVerdictFor evaluates one committee's list in order. With
+// ParallelBlockGen (§VIII-B) the verdicts are computed against a
+// copy-on-write overlay so chained transactions in one list can both pass;
+// otherwise each transaction is judged independently against the store.
+func (e *Engine) honestVerdictFor(txs []*ledger.Tx) reputation.VoteVector {
+	var view ledger.UTXOView = e.utxo
+	var overlay *ledger.Overlay
+	if e.P.ParallelBlockGen {
+		overlay = ledger.NewOverlay(e.utxo)
+		view = overlay
+	}
+	out := make(reputation.VoteVector, len(txs))
+	for i, tx := range txs {
+		out[i] = reputation.No
+		if _, err := ledger.Validate(tx, view); err == nil {
+			out[i] = reputation.Yes
+			if overlay != nil {
+				_ = overlay.ApplyTx(tx)
+			}
+		}
+	}
+	return out
+}
+
+// honestVerdicts returns the precomputed verdict vector for committee k
+// when the supplied list is the one the engine primed, and falls back to a
+// fresh evaluation otherwise (e.g. a byzantine leader substituted a list).
+// The returned vector must be treated as read-only.
+func (e *Engine) honestVerdicts(k uint64, txs []*ledger.Tx) reputation.VoteVector {
+	if w := e.work; w != nil && sameTxList(w.intra[k], txs) {
+		return w.verdicts[k]
+	}
+	return e.honestVerdictFor(txs)
+}
+
+// sameTxList reports whether b is exactly the primed list a (the in-process
+// simulation passes lists by reference, so pointer comparison suffices and
+// stays cheap on the hot path).
+func sameTxList(a, b []*ledger.Tx) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// stagePrefetch (pipelined mode) generates the next round's batch while
+// the current block is still being certified and propagated, so round
+// r+1's transaction processing overlaps round r's tail — the §IV
+// parallel-pipeline structure. It must run after the ledger stage: the
+// generator's Reject bookkeeping for this round reshapes its model before
+// the next batch is drawn. Only generation is prefetched; the per-shard
+// routing waits for the next workload stage so it classifies against the
+// post-apply ledger view (callers that want generator-side routing use
+// workload.Generator.NextRoutedBatch directly).
+func (e *Engine) stagePrefetch() {
+	e.nextBatch = e.gen.NextBatch(e.P.M * e.P.TxPerCommittee)
+}
