@@ -1,120 +1,233 @@
-// Command cycsim runs a full CycLedger simulation and prints per-round
-// reports: throughput, fees, recoveries, traffic, and the final reputation
-// leaderboard.
+// Command cycsim runs a full CycLedger simulation through the public sim
+// facade and prints per-round reports as they complete: throughput, fees,
+// recoveries, traffic, and the final reputation leaderboard.
+//
+// Runs are assembled in three layers, each overriding the previous:
+// a registered scenario (-scenario), a JSON config file (-config), and
+// individual flags.
 //
 //	go run ./cmd/cycsim -m 8 -c 20 -rounds 5 -cross 0.33
-//	go run ./cmd/cycsim -malicious 0.1 -behavior conceal -corrupt-leaders
-//	go run ./cmd/cycsim -malicious 0.1 -behavior conceal -corrupt-leaders -no-recovery
+//	go run ./cmd/cycsim -scenario leader-fault -json
+//	go run ./cmd/cycsim -scenario dos-prescreen -rounds 5
+//	go run ./cmd/cycsim -config run.json -seed 7
+//	go run ./cmd/cycsim -list-scenarios
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 
-	"cycledger/internal/consensus"
-	"cycledger/internal/protocol"
+	"cycledger/sim"
 )
 
 func main() {
-	m := flag.Int("m", 4, "number of committees")
-	c := flag.Int("c", 16, "committee size")
-	lambda := flag.Int("lambda", 3, "partial set size")
-	ref := flag.Int("ref", 9, "referee committee size")
-	rounds := flag.Int("rounds", 3, "rounds to simulate")
-	txs := flag.Int("tx", 30, "transactions offered per committee per round")
-	cross := flag.Float64("cross", 1.0/3, "cross-shard payment fraction")
-	invalid := flag.Float64("invalid", 0, "invalid transaction fraction")
-	malicious := flag.Float64("malicious", 0, "byzantine node fraction")
-	behavior := flag.String("behavior", "invert", "byzantine behavior: invert|lazy|offline|equivocate|forge|conceal|censor")
-	corruptLeaders := flag.Bool("corrupt-leaders", false, "spend the corruption budget on leader seats first")
-	noRecovery := flag.Bool("no-recovery", false, "disable leader re-selection (RapidChain-style baseline)")
-	seed := flag.Int64("seed", 1, "simulation seed")
-	par := flag.Int("parallel", 1, "simnet worker pool size (0 = GOMAXPROCS)")
-	pipelined := flag.Bool("pipelined", false, "run rounds as a concurrent stage pipeline (§IV overlap)")
-	ed := flag.Bool("ed25519", false, "use real Ed25519 signatures (slower)")
+	scenario := flag.String("scenario", "", "registered scenario to run (see -list-scenarios)")
+	configPath := flag.String("config", "", "JSON config file (overlaid on the scenario)")
+	jsonOut := flag.Bool("json", false, "emit the run as a JSON document instead of text")
+	list := flag.Bool("list-scenarios", false, "list registered scenarios and exit")
+
+	// Declared flag defaults mirror the default config so -h tells the
+	// truth; only flags explicitly set on the command line (flag.Visit)
+	// override the scenario/config layers.
+	def := sim.DefaultConfig()
+	m := flag.Int("m", def.M, "number of committees")
+	c := flag.Int("c", def.C, "committee size")
+	lambda := flag.Int("lambda", def.Lambda, "partial set size")
+	ref := flag.Int("ref", def.RefSize, "referee committee size")
+	rounds := flag.Int("rounds", def.Rounds, "rounds to simulate")
+	txs := flag.Int("tx", def.TxPerCommittee, "transactions offered per committee per round")
+	cross := flag.Float64("cross", def.CrossFrac, "cross-shard payment fraction")
+	invalid := flag.Float64("invalid", def.InvalidFrac, "invalid transaction fraction")
+	malicious := flag.Float64("malicious", def.MaliciousFrac, "byzantine node fraction (-behavior defaults to invert when this is set)")
+	behavior := flag.String("behavior", def.Behavior, "byzantine behavior: honest|invert|lazy|yes|offline|equivocate|forge|conceal|censor|suppress-score (comma-composable)")
+	corruptLeaders := flag.Bool("corrupt-leaders", def.CorruptLeaders, "spend the corruption budget on leader seats first")
+	noRecovery := flag.Bool("no-recovery", def.DisableRecovery, "disable leader re-selection (RapidChain-style baseline)")
+	prescreen := flag.Bool("prescreen", def.PreScreenCross, "enable §VIII-A cross-shard pre-screening")
+	parallelBlockGen := flag.Bool("parallel-blockgen", def.ParallelBlockGen, "enable §VIII-B parallel block generation")
+	seed := flag.Int64("seed", def.Seed, "simulation seed (non-zero)")
+	par := flag.Int("parallel", def.Parallelism, "simnet worker pool size (0 = GOMAXPROCS)")
+	pipelined := flag.Bool("pipelined", def.Pipelined, "run rounds as a concurrent stage pipeline (§IV overlap)")
+	scheme := flag.String("scheme", def.Scheme, "signature scheme: hash|ed25519")
 	top := flag.Int("top", 5, "reputation leaderboard size")
 	flag.Parse()
 
-	p := protocol.DefaultParams()
-	p.M, p.C, p.Lambda, p.RefSize = *m, *c, *lambda, *ref
-	p.Rounds, p.TxPerCommittee = *rounds, *txs
-	p.CrossFrac, p.InvalidFrac = *cross, *invalid
-	p.MaliciousFrac = *malicious
-	p.CorruptLeaders = *corruptLeaders
-	p.DisableRecovery = *noRecovery
-	p.Seed = *seed
-	p.Parallelism = *par
-	p.Pipelined = *pipelined
-	if *ed {
-		p.Scheme = consensus.Ed25519Scheme{}
+	if *list {
+		for _, s := range sim.List() {
+			fmt.Printf("%-18s %s\n%18s reproduces: %s\n", s.Name, s.Description, "", s.Paper)
+		}
+		return
 	}
-	p.ByzantineBehavior = parseBehavior(*behavior)
 
-	e, err := protocol.NewEngine(p)
+	var opts []sim.Option
+	if *scenario != "" {
+		scen, ok := sim.Lookup(*scenario)
+		if !ok {
+			fatalf("unknown scenario %q (try -list-scenarios)", *scenario)
+		}
+		opts = append(opts, scen.Options...)
+	}
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opts = append(opts, sim.FromJSON(data))
+	}
+	cfg, err := sim.Resolve(opts...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cycsim:", err)
-		os.Exit(1)
+		fatalf("%v", err)
+	}
+
+	// Individual flags override the scenario/config layers, but only the
+	// flags actually given on the command line.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	applyIf := func(name string, apply func()) {
+		if set[name] {
+			apply()
+		}
+	}
+	applyIf("m", func() { cfg.M = *m })
+	applyIf("c", func() { cfg.C = *c })
+	applyIf("lambda", func() { cfg.Lambda = *lambda })
+	applyIf("ref", func() { cfg.RefSize = *ref })
+	applyIf("rounds", func() { cfg.Rounds = *rounds })
+	applyIf("tx", func() { cfg.TxPerCommittee = *txs })
+	applyIf("cross", func() { cfg.CrossFrac = *cross })
+	applyIf("invalid", func() { cfg.InvalidFrac = *invalid })
+	applyIf("malicious", func() { cfg.MaliciousFrac = *malicious })
+	applyIf("behavior", func() { cfg.Behavior = *behavior })
+	applyIf("corrupt-leaders", func() { cfg.CorruptLeaders = *corruptLeaders })
+	applyIf("no-recovery", func() { cfg.DisableRecovery = *noRecovery })
+	applyIf("prescreen", func() { cfg.PreScreenCross = *prescreen })
+	applyIf("parallel-blockgen", func() { cfg.ParallelBlockGen = *parallelBlockGen })
+	applyIf("seed", func() { cfg.Seed = *seed })
+	applyIf("parallel", func() { cfg.Parallelism = *par })
+	applyIf("pipelined", func() { cfg.Pipelined = *pipelined })
+	applyIf("scheme", func() { cfg.Scheme = *scheme })
+	// A command-line -malicious without -behavior keeps the old CLI's
+	// default of vote inversion. The fallback is scoped to the flag layer:
+	// a scenario or config file that sets a positive fraction without a
+	// behavior is passed through untouched, so validation rejects it as a
+	// silent no-op adversary instead of inventing one.
+	if set["malicious"] && !set["behavior"] && cfg.Behavior == "" {
+		cfg.Behavior = "invert"
+	}
+
+	// First Ctrl-C cancels the run (checked between rounds, so partial
+	// results still print); unregistering on cancellation restores the
+	// default handler, letting a second Ctrl-C kill a round in flight.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() { <-ctx.Done(); stop() }()
+
+	if *jsonOut {
+		runJSON(ctx, cfg, *top)
+		return
+	}
+	runText(ctx, cfg, *top)
+}
+
+func runText(ctx context.Context, cfg sim.Config, top int) {
+	s, err := sim.New(sim.FromConfig(cfg))
+	if err != nil {
+		fatalf("%v", err)
 	}
 	fmt.Printf("cycsim: n=%d nodes, m=%d committees of c=%d (λ=%d), |C_R|=%d, %d rounds\n\n",
-		p.TotalNodes(), p.M, p.C, p.Lambda, p.RefSize, p.Rounds)
+		cfg.TotalNodes(), cfg.M, cfg.C, cfg.Lambda, cfg.RefSize, cfg.Rounds)
 
-	reports, err := e.Run()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cycsim:", err)
-		os.Exit(1)
-	}
-	for _, r := range reports {
+	var runErr error
+	for r, err := range s.Rounds(ctx) {
+		if err != nil {
+			runErr = err
+			break
+		}
 		fmt.Printf("round %d: tx=%d (intra %d, cross %d, rejected %d)  fees=%d  msgs=%d  bytes=%d  Δt=%d\n",
 			r.Round, r.Throughput(), r.IntraIncluded, r.CrossIncluded, r.Rejected,
 			r.Fees, r.Messages, r.Bytes, r.Duration)
+		if r.Screened > 0 {
+			fmt.Printf("  pre-screened: %d cross-shard txs dropped before packaging\n", r.Screened)
+		}
 		for _, rec := range r.Recoveries {
 			fmt.Printf("  recovery: committee %d evicted node %d (%s) → node %d\n",
 				rec.Committee, rec.Evicted, rec.Kind, rec.Successor)
 		}
 	}
 
-	fmt.Printf("\nreputation leaderboard (top %d):\n", *top)
-	snap := e.Reputation().Snapshot()
-	type entry struct {
-		name string
-		rep  float64
+	// An interrupted run still reports the rounds that did complete.
+	fmt.Printf("\nreputation leaderboard (top %d):\n", top)
+	for i, e := range leaderboard(s, top) {
+		fmt.Printf("  %2d. %-12s %8.3f\n", i+1, e.Name, e.Reputation)
 	}
-	var entries []entry
-	for name, rep := range snap {
-		entries = append(entries, entry{name, rep})
-	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].rep != entries[j].rep {
-			return entries[i].rep > entries[j].rep
-		}
-		return entries[i].name < entries[j].name
-	})
-	for i := 0; i < *top && i < len(entries); i++ {
-		fmt.Printf("  %2d. %-12s %8.3f\n", i+1, entries[i].name, entries[i].rep)
+	if runErr != nil {
+		fatalf("%v", runErr)
 	}
 }
 
-func parseBehavior(s string) protocol.Behavior {
-	switch s {
-	case "invert":
-		return protocol.Behavior{Vote: protocol.VoteInvert}
-	case "lazy":
-		return protocol.Behavior{Vote: protocol.VoteLazy}
-	case "offline":
-		return protocol.Behavior{Offline: true}
-	case "equivocate":
-		return protocol.Behavior{EquivocateIntra: true}
-	case "forge":
-		return protocol.Behavior{ForgeSemiCommit: true}
-	case "conceal":
-		return protocol.Behavior{ConcealCross: true}
-	case "censor":
-		return protocol.Behavior{CensorAll: true}
-	default:
-		fmt.Fprintln(os.Stderr, "cycsim: unknown behavior", s)
-		os.Exit(2)
-		return protocol.Behavior{}
+// jsonRun is the -json output document. Error is set when the run was
+// interrupted; Rounds then holds the rounds that completed before it.
+type jsonRun struct {
+	Config      sim.Config         `json:"config"`
+	Rounds      []*sim.RoundReport `json:"rounds"`
+	Leaderboard []repEntry         `json:"leaderboard"`
+	Error       string             `json:"error,omitempty"`
+}
+
+func runJSON(ctx context.Context, cfg sim.Config, top int) {
+	s, err := sim.New(sim.FromConfig(cfg))
+	if err != nil {
+		fatalf("%v", err)
 	}
+	reports, runErr := s.Run(ctx)
+	if reports == nil {
+		reports = []*sim.RoundReport{} // keep "rounds" an array even when nothing completed
+	}
+	doc := jsonRun{Config: cfg, Rounds: reports, Leaderboard: leaderboard(s, top)}
+	if runErr != nil {
+		doc.Error = runErr.Error()
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatalf("%v", err)
+	}
+	if runErr != nil {
+		fatalf("%v", runErr)
+	}
+}
+
+type repEntry struct {
+	Name       string  `json:"name"`
+	Reputation float64 `json:"reputation"`
+}
+
+func leaderboard(s *sim.Sim, top int) []repEntry {
+	snap := s.Reputation().Snapshot()
+	entries := make([]repEntry, 0, len(snap))
+	for name, rep := range snap {
+		entries = append(entries, repEntry{name, rep})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Reputation != entries[j].Reputation {
+			return entries[i].Reputation > entries[j].Reputation
+		}
+		return entries[i].Name < entries[j].Name
+	})
+	if top < 0 {
+		top = 0
+	}
+	if top < len(entries) {
+		entries = entries[:top]
+	}
+	return entries
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintln(os.Stderr, "cycsim: "+fmt.Sprintf(format, args...))
+	os.Exit(1)
 }

@@ -3,21 +3,25 @@
 //	go run ./cmd/figures -fig 4            # the reward map g(x)
 //	go run ./cmd/figures -fig 5            # committee failure probability
 //	go run ./cmd/figures -fig partialset   # (1/3)^λ security curve (§V-C)
+//	go run ./cmd/figures -fig throughput   # measured tx/round vs committee count m
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"cycledger/internal/analysis"
 	"cycledger/internal/reputation"
+	"cycledger/sim"
 )
 
 func main() {
-	fig := flag.String("fig", "4", "figure to emit: 4, 5, or partialset")
+	fig := flag.String("fig", "4", "figure to emit: 4, 5, partialset, epochs, or throughput")
 	n := flag.Int64("n", 2000, "population for fig 5")
 	t := flag.Int64("t", 666, "malicious nodes for fig 5")
+	rounds := flag.Int("rounds", 2, "rounds per point for the throughput sweep")
 	flag.Parse()
 
 	switch *fig {
@@ -47,6 +51,34 @@ func main() {
 		cyc := analysis.CycLedgerRoundFailure(2000, 666, 20, 240, 40)
 		for e := 1; e <= 12; e++ {
 			fmt.Printf("%d,%.4f,%.3g\n", e, analysis.ElasticoEpochClaim(e), analysis.EpochFailure(cyc, e))
+		}
+	case "throughput":
+		// The scalability property (§III-D): measured throughput grows
+		// with the committee count. Each point is a fresh seeded run
+		// through the sim facade.
+		fmt.Println("m,n,tx_per_round,msgs_per_round")
+		for _, m := range []int{2, 4, 6, 8} {
+			s, err := sim.New(
+				sim.WithTopology(m, 16, 3, 9),
+				sim.WithRounds(*rounds),
+			)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+			reports, err := s.Run(context.Background())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+			var tx int
+			var msgs uint64
+			for _, r := range reports {
+				tx += r.Throughput()
+				msgs += r.Messages
+			}
+			fmt.Printf("%d,%d,%.1f,%.0f\n", m, s.TotalNodes(),
+				float64(tx)/float64(len(reports)), float64(msgs)/float64(len(reports)))
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "figures: unknown figure", *fig)

@@ -10,13 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 
 	"cycledger/internal/baseline"
-	"cycledger/internal/protocol"
+	"cycledger/sim"
 )
 
 func main() {
@@ -56,14 +57,14 @@ func growth(a, b float64) float64 {
 	return math.Log2(b / a)
 }
 
-// table2Scale runs one round and returns the per-phase per-role sent
-// message counts.
-func table2Scale(p protocol.Params) (*protocol.RoundReport, error) {
-	e, err := protocol.NewEngine(p)
+// table2Scale runs one round through the sim facade and returns the
+// per-phase per-role sent message counts.
+func table2Scale(cfg sim.Config) (*sim.RoundReport, error) {
+	s, err := sim.New(sim.FromConfig(cfg))
 	if err != nil {
 		return nil, err
 	}
-	reports, err := e.Run()
+	reports, err := s.Run(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -71,7 +72,7 @@ func table2Scale(p protocol.Params) (*protocol.RoundReport, error) {
 }
 
 func printTable2() {
-	small := protocol.DefaultParams()
+	small := sim.DefaultConfig()
 	small.Rounds = 1
 
 	large := small

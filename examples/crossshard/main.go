@@ -1,34 +1,35 @@
 // Cross-shard workload: drive CycLedger with a payment mix dominated by
 // cross-shard transactions and show how the inter-committee consensus
 // phase (§IV-D) carries them into blocks — the scenario that motivates the
-// semi-commitment scheme.
+// semi-commitment scheme. The setup is the registered "cross-heavy"
+// scenario; only the output loop lives here.
 //
 //	go run ./examples/crossshard
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"cycledger/internal/protocol"
+	"cycledger/sim"
 )
 
 func main() {
-	params := protocol.DefaultParams()
-	params.M = 6           // more shards → more cross-shard pairs
-	params.CrossFrac = 0.8 // 80% of payments leave their shard
-	params.TxPerCommittee = 40
-	params.Rounds = 3
-
-	engine, err := protocol.NewEngine(params)
+	scen, ok := sim.Lookup("cross-heavy")
+	if !ok {
+		log.Fatal("cross-heavy scenario not registered")
+	}
+	s, err := scen.New()
 	if err != nil {
 		log.Fatal(err)
 	}
+	cfg := s.Config()
 
 	fmt.Printf("cross-shard demo: %d committees, %.0f%% cross-shard payments\n\n",
-		params.M, params.CrossFrac*100)
+		cfg.M, cfg.CrossFrac*100)
 
-	reports, err := engine.Run()
+	reports, err := s.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

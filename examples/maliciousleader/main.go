@@ -6,30 +6,35 @@
 // block. A second run with recovery disabled shows the RapidChain-style
 // failure mode for comparison.
 //
+// Both setups are registered scenarios ("leader-fault" and "no-recovery");
+// an observer streams each eviction as the referee committee decides it.
+//
 //	go run ./examples/maliciousleader
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"cycledger/internal/protocol"
+	"cycledger/sim"
 )
 
-func run(disableRecovery bool) *protocol.RoundReport {
-	params := protocol.DefaultParams()
-	params.Rounds = 1
-	params.MaliciousFrac = float64(params.M) / float64(params.TotalNodes())
-	params.CorruptLeaders = true
-	params.ByzantineBehavior = protocol.Behavior{EquivocateIntra: true, ConcealCross: true}
-	params.DisableRecovery = disableRecovery
-	params.CrossFrac = 0.5
-
-	engine, err := protocol.NewEngine(params)
+func run(scenario string) *sim.RoundReport {
+	scen, ok := sim.Lookup(scenario)
+	if !ok {
+		log.Fatalf("scenario %q not registered", scenario)
+	}
+	s, err := scen.New(sim.WithObserver(sim.Funcs{
+		Recovery: func(ev sim.RecoveryEvent) {
+			fmt.Printf("  live: committee %d evicting node %d (%s) → node %d\n",
+				ev.Committee, ev.Evicted, ev.Kind, ev.Successor)
+		},
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	reports, err := engine.Run()
+	reports, err := s.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,16 +45,12 @@ func main() {
 	fmt.Println("all bootstrap leaders are byzantine (equivocate + conceal cross-shard)")
 
 	fmt.Println("\n--- with CycLedger's recovery procedure ---")
-	r := run(false)
+	r := run("leader-fault")
 	fmt.Printf("included: %d transactions (%d cross-shard)\n", r.Throughput(), r.CrossIncluded)
 	fmt.Printf("recoveries: %d\n", len(r.Recoveries))
-	for _, rec := range r.Recoveries {
-		fmt.Printf("  committee %d: evicted node %d for %s, node %d took over\n",
-			rec.Committee, rec.Evicted, rec.Kind, rec.Successor)
-	}
 
 	fmt.Println("\n--- recovery disabled (RapidChain-style baseline) ---")
-	r2 := run(true)
+	r2 := run("no-recovery")
 	fmt.Printf("included: %d transactions (%d cross-shard), recoveries: %d\n",
 		r2.Throughput(), r2.CrossIncluded, len(r2.Recoveries))
 

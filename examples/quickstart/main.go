@@ -1,37 +1,35 @@
 // Quickstart: run three rounds of CycLedger with default parameters and
 // print what happened. This is the smallest end-to-end use of the public
-// engine API:
+// sim facade — build with options, consume rounds from the streaming
+// iterator as they complete:
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"cycledger/internal/protocol"
+	"cycledger/sim"
 )
 
 func main() {
-	params := protocol.DefaultParams() // 4 committees × 16 nodes + 9 referees
-	params.Rounds = 3
-
-	engine, err := protocol.NewEngine(params)
+	s, err := sim.New(sim.WithRounds(3)) // 4 committees × 16 nodes + 9 referees
 	if err != nil {
 		log.Fatal(err)
 	}
+	cfg := s.Config()
 
 	fmt.Printf("CycLedger quickstart: %d nodes, %d committees, %d rounds\n\n",
-		params.TotalNodes(), params.M, params.Rounds)
-
-	reports, err := engine.Run()
-	if err != nil {
-		log.Fatal(err)
-	}
+		s.TotalNodes(), cfg.M, cfg.Rounds)
 
 	var totalTx int
 	var totalFees uint64
-	for _, r := range reports {
+	for r, err := range s.Rounds(context.Background()) {
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("round %d: included %3d transactions (%d intra-shard, %d cross-shard), fees %d\n",
 			r.Round, r.Throughput(), r.IntraIncluded, r.CrossIncluded, r.Fees)
 		totalTx += r.Throughput()
@@ -39,5 +37,5 @@ func main() {
 	}
 	fmt.Printf("\ntotal: %d transactions, %d fee units distributed by reputation\n", totalTx, totalFees)
 	fmt.Printf("UTXO set now holds %d outputs worth %d\n",
-		engine.UTXO().Len(), engine.UTXO().TotalValue())
+		s.UTXO().Len(), s.UTXO().TotalValue())
 }

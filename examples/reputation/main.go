@@ -2,32 +2,34 @@
 // and watch the incentive layer (§VII) at work — honest voters accumulate
 // reputation and earn fee rewards; inverted voters sink below zero and
 // their mapped reward weight g(x) collapses; leaders are re-selected from
-// the honest, high-reputation population.
+// the honest, high-reputation population. The setup is the registered
+// "reputation" scenario.
 //
 //	go run ./examples/reputation
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
 
-	"cycledger/internal/protocol"
 	"cycledger/internal/reputation"
-	"cycledger/internal/simnet"
+	"cycledger/sim"
 )
 
 func main() {
-	params := protocol.DefaultParams()
-	params.Rounds = 4
-	params.MaliciousFrac = 0.2
-	params.ByzantineBehavior = protocol.Behavior{Vote: protocol.VoteInvert}
-
-	engine, err := protocol.NewEngine(params)
+	scen, ok := sim.Lookup("reputation")
+	if !ok {
+		log.Fatal("reputation scenario not registered")
+	}
+	s, err := scen.New()
 	if err != nil {
 		log.Fatal(err)
 	}
-	reports, err := engine.Run()
+	cfg := s.Config()
+
+	reports, err := s.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,30 +42,29 @@ func main() {
 			totalRewards[name] += amt
 		}
 	}
-	for id := 0; id < params.TotalNodes(); id++ {
-		nid := simnet.NodeID(id)
-		rep := engine.Reputation().Get(engine.NameOf(nid))
-		if engine.IsByzantine(nid) {
+	for id := 0; id < s.TotalNodes(); id++ {
+		rep := s.Reputation().Get(s.NameOf(id))
+		if s.IsByzantine(id) {
 			byz = append(byz, rep)
-			rewByz += totalRewards[engine.NameOf(nid)]
+			rewByz += totalRewards[s.NameOf(id)]
 		} else {
 			honest = append(honest, rep)
-			rewHonest += totalRewards[engine.NameOf(nid)]
+			rewHonest += totalRewards[s.NameOf(id)]
 		}
 	}
 
-	fmt.Printf("after %d rounds with %.0f%% inverted voters:\n\n", params.Rounds, params.MaliciousFrac*100)
+	fmt.Printf("after %d rounds with %.0f%% inverted voters:\n\n", cfg.Rounds, cfg.MaliciousFrac*100)
 	fmt.Printf("honest nodes:    mean reputation %+6.2f  (g ≈ %.3f)  total rewards %d\n",
 		mean(honest), reputation.G(mean(honest)), rewHonest)
 	fmt.Printf("byzantine nodes: mean reputation %+6.2f  (g ≈ %.3f)  total rewards %d\n",
 		mean(byz), reputation.G(mean(byz)), rewByz)
 
 	fmt.Println("\ncurrent leaders (selected by top reputation):")
-	leaders := append([]simnet.NodeID(nil), engine.Roster().Leaders...)
-	sort.Slice(leaders, func(i, j int) bool { return leaders[i] < leaders[j] })
+	leaders := s.Leaders()
+	sort.Ints(leaders)
 	for k, id := range leaders {
 		fmt.Printf("  committee %d: %s (reputation %.2f, byzantine=%v)\n",
-			k, engine.NameOf(id), engine.Reputation().Get(engine.NameOf(id)), engine.IsByzantine(id))
+			k, s.NameOf(id), s.Reputation().Get(s.NameOf(id)), s.IsByzantine(id))
 	}
 }
 

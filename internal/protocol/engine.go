@@ -26,6 +26,26 @@ type RecoveryEvent struct {
 	Kind      string
 }
 
+// Hooks are optional callbacks fired as a round progresses, the engine's
+// half of the streaming observation API (the sim facade adapts them to its
+// Observer interface). Callbacks run synchronously on whichever goroutine
+// executes the stage: under Params.Pipelined the network phases run on
+// their own goroutines, serialised by the stage graph's dependency edges,
+// so invocations never overlap but do hop goroutines — implementations
+// must not assume a single caller goroutine.
+type Hooks struct {
+	// PhaseStart fires when a network phase (config, semicommit, intra,
+	// inter, score, select, block) begins driving traffic.
+	PhaseStart func(round uint64, phase string)
+	// Recovery fires for each decided leader eviction as it is folded
+	// into the roster, before the round's report is finalised.
+	Recovery func(RecoveryEvent)
+}
+
+// SetHooks installs progress callbacks. Call it before Run/RunRound; the
+// engine reads the struct without synchronisation once rounds start.
+func (e *Engine) SetHooks(h Hooks) { e.hooks = h }
+
 // RoundReport summarises one protocol round.
 type RoundReport struct {
 	Round         uint64
@@ -82,6 +102,7 @@ type Engine struct {
 	stageSpans  map[string]simnet.Time // per-network-stage virtual spans
 	prevCertify simnet.Time            // previous round's certify span (cross-round overlap)
 	screened    atomic.Int64           // §VIII-A pre-screen drops (handler hot path)
+	hooks       Hooks                  // optional progress callbacks (SetHooks)
 }
 
 // noteScreened tallies §VIII-A pre-screen drops. It is called from
@@ -233,23 +254,43 @@ func (e *Engine) assignCommons(r *Roster, from int) {
 	}
 }
 
-// pkOf resolves a node's public key (the PKI of §III-A).
-func (e *Engine) pkOf(id simnet.NodeID) crypto.PublicKey {
-	if int(id) >= len(e.keys) || id < 0 {
-		return nil
+// nodeIndex bounds-checks a (possibly wire-supplied) NodeID against a
+// population of n nodes: it returns the slice index for a valid ID and -1
+// for anything negative or past the end. Every engine lookup keyed by a
+// NodeID goes through this one guard.
+func nodeIndex(id simnet.NodeID, n int) int {
+	if id < 0 || int(id) >= n {
+		return -1
 	}
-	return e.keys[id].PK
+	return int(id)
 }
 
-// NameOf returns a node's stable identity string.
-func (e *Engine) NameOf(id simnet.NodeID) string { return e.names[id] }
+// pkOf resolves a node's public key (the PKI of §III-A).
+func (e *Engine) pkOf(id simnet.NodeID) crypto.PublicKey {
+	i := nodeIndex(id, len(e.keys))
+	if i < 0 {
+		return nil
+	}
+	return e.keys[i].PK
+}
+
+// NameOf returns a node's stable identity string, or "" for an ID outside
+// the population.
+func (e *Engine) NameOf(id simnet.NodeID) string {
+	i := nodeIndex(id, len(e.names))
+	if i < 0 {
+		return ""
+	}
+	return e.names[i]
+}
 
 // IsByzantine reports whether the node was assigned a byzantine behaviour.
 func (e *Engine) IsByzantine(id simnet.NodeID) bool {
-	if int(id) >= len(e.nodes) || id < 0 {
+	i := nodeIndex(id, len(e.nodes))
+	if i < 0 {
 		return false
 	}
-	return e.nodes[id].Behavior.IsByzantine()
+	return e.nodes[i].Behavior.IsByzantine()
 }
 
 // Reputation exposes the ledger (read-only use in examples and tests).
@@ -340,6 +381,9 @@ func (e *Engine) phaseLabel(phase string) string {
 
 func (e *Engine) setPhase(phase string) {
 	e.Net.Metrics().SetPhase(e.phaseLabel(phase))
+	if e.hooks.PhaseStart != nil {
+		e.hooks.PhaseStart(e.round, phase)
+	}
 }
 
 // Run executes the configured number of rounds.

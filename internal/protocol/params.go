@@ -118,8 +118,31 @@ func (p Params) Validate() error {
 	if p.Rounds < 1 {
 		return fmt.Errorf("protocol: rounds must be ≥ 1")
 	}
+	if p.TxPerCommittee < 0 {
+		return fmt.Errorf("protocol: negative transactions per committee (%d)", p.TxPerCommittee)
+	}
+	if p.CrossFrac < 0 || p.CrossFrac > 1 {
+		return fmt.Errorf("protocol: cross-shard fraction %v out of [0,1]", p.CrossFrac)
+	}
+	if p.InvalidFrac < 0 || p.InvalidFrac > 1 {
+		return fmt.Errorf("protocol: invalid-transaction fraction %v out of [0,1]", p.InvalidFrac)
+	}
 	if p.MaliciousFrac < 0 || p.MaliciousFrac >= 1 {
 		return fmt.Errorf("protocol: malicious fraction %v out of [0,1)", p.MaliciousFrac)
+	}
+	if p.MaliciousFrac > 0 && !p.ByzantineBehavior.IsByzantine() {
+		// Corrupted nodes with the zero Behavior act honestly, so the run
+		// would silently be indistinguishable from MaliciousFrac = 0.
+		return fmt.Errorf("protocol: malicious fraction %v with an honest behavior (set ByzantineBehavior)", p.MaliciousFrac)
+	}
+	if p.Parallelism < 0 {
+		return fmt.Errorf("protocol: negative parallelism (%d)", p.Parallelism)
+	}
+	if p.Seed == 0 {
+		// A zero seed is almost always a forgotten field, and it would
+		// silently collide with every other zero-seeded run; require an
+		// explicit choice (DefaultParams uses 1).
+		return fmt.Errorf("protocol: seed must be non-zero (set an explicit simulation seed)")
 	}
 	if p.Scheme == nil {
 		return fmt.Errorf("protocol: nil signature scheme")

@@ -106,9 +106,13 @@ func (e *Engine) applyEvictions(report *RoundReport) []uint64 {
 		}
 		e.roster.ReplaceLeader(k, ev.Evicted, ev.Successor)
 		e.reput.Punish(e.names[ev.Evicted])
-		report.Recoveries = append(report.Recoveries, RecoveryEvent{
+		rec := RecoveryEvent{
 			Round: e.round, Committee: k, Evicted: ev.Evicted, Successor: ev.Successor, Kind: ev.Witness.Kind,
-		})
+		}
+		report.Recoveries = append(report.Recoveries, rec)
+		if e.hooks.Recovery != nil {
+			e.hooks.Recovery(rec)
+		}
 		// Force-sync every member's view (the NEW_LEADER quorum normally
 		// does this; the sync also covers nodes whose notices raced the
 		// end of the network run).

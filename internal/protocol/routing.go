@@ -196,8 +196,7 @@ func sameTxList(a, b []*ledger.Tx) bool {
 // generator's Reject bookkeeping for this round reshapes its model before
 // the next batch is drawn. Only generation is prefetched; the per-shard
 // routing waits for the next workload stage so it classifies against the
-// post-apply ledger view (callers that want generator-side routing use
-// workload.Generator.NextRoutedBatch directly).
+// post-apply ledger view.
 func (e *Engine) stagePrefetch() {
 	e.nextBatch = e.gen.NextBatch(e.P.M * e.P.TxPerCommittee)
 }

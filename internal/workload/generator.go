@@ -8,7 +8,6 @@ package workload
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"cycledger/internal/ledger"
 )
@@ -155,7 +154,7 @@ func (g *Generator) pickReceiver(sender string, cross bool) string {
 func (g *Generator) NextBatch(count int) []*ledger.Tx {
 	txs := make([]*ledger.Tx, 0, count)
 	for len(txs) < count {
-		tx, _, ok := g.nextTx()
+		tx, ok := g.nextTx()
 		if !ok {
 			break
 		}
@@ -164,19 +163,16 @@ func (g *Generator) NextBatch(count int) []*ledger.Tx {
 	return txs
 }
 
-// nextTx produces one transaction and names the owner of its inputs
-// (empty for fabricated ghost inputs, which nobody can resolve). Every
-// generated spend consumes coins of a single owner, so one name suffices.
-// The random-stream consumption is identical to the historical NextBatch
-// body, so seeded workloads are unchanged.
-func (g *Generator) nextTx() (tx *ledger.Tx, inputOwner string, ok bool) {
+// nextTx produces one transaction. The random-stream consumption is
+// identical to the historical NextBatch body, so seeded workloads are
+// unchanged.
+func (g *Generator) nextTx() (tx *ledger.Tx, ok bool) {
 	sender, ok := g.pickSender()
 	if !ok {
-		return nil, "", false
+		return nil, false
 	}
 	if g.cfg.InvalidFrac > 0 && g.rng.Float64() < g.cfg.InvalidFrac {
-		tx, inputOwner = g.invalidTx(sender)
-		return tx, inputOwner, true
+		return g.invalidTx(sender), true
 	}
 	cross := g.rng.Float64() < g.cfg.CrossShardFrac
 	receiver := g.pickReceiver(sender, cross)
@@ -204,88 +200,7 @@ func (g *Generator) nextTx() (tx *ledger.Tx, inputOwner string, ok bool) {
 	}
 	id := tx.ID()
 	g.pendingOuts(tx, id)
-	return tx, sender, true
-}
-
-// RoutedBatch is a batch pre-split into per-shard work lists using the
-// generator's own knowledge of input ownership, mirroring the protocol's
-// routing rule so the engine can skip the global-view classification pass:
-// intra-shard transactions (and unresolvable-input ones, offered to their
-// first output shard to be voted No) land in Intra[home]; cross-shard
-// transactions land in Cross[i][j] where i is the first input shard and j
-// the first other touched shard.
-type RoutedBatch struct {
-	All   []*ledger.Tx
-	Intra map[uint64][]*ledger.Tx            // home shard → offered list
-	Cross map[uint64]map[uint64][]*ledger.Tx // input shard i → output shard j → txs
-}
-
-// NextRoutedBatch produces `count` transactions already routed per shard.
-// It consumes the same random stream as NextBatch, so a seeded generator
-// emits the same transactions regardless of which entry point is used.
-func (g *Generator) NextRoutedBatch(count int) *RoutedBatch {
-	rb := &RoutedBatch{
-		Intra: make(map[uint64][]*ledger.Tx),
-		Cross: make(map[uint64]map[uint64][]*ledger.Tx),
-	}
-	m := g.cfg.Shards
-	for len(rb.All) < count {
-		tx, inputOwner, ok := g.nextTx()
-		if !ok {
-			break
-		}
-		rb.All = append(rb.All, tx)
-		outs := ledger.OutputShards(tx, m)
-		var ins []uint64
-		if inputOwner != "" {
-			ins = []uint64{ledger.ShardOf(inputOwner, m)}
-		}
-		shards := unionShards(ins, outs)
-		switch {
-		case len(shards) <= 1:
-			home := uint64(0)
-			if len(shards) == 1 {
-				home = shards[0]
-			} else if len(outs) > 0 {
-				home = outs[0]
-			}
-			rb.Intra[home] = append(rb.Intra[home], tx)
-		default:
-			i := shards[0]
-			if len(ins) > 0 {
-				i = ins[0]
-			}
-			j := shards[0]
-			if j == i {
-				j = shards[1]
-			}
-			if rb.Cross[i] == nil {
-				rb.Cross[i] = make(map[uint64][]*ledger.Tx)
-			}
-			rb.Cross[i][j] = append(rb.Cross[i][j], tx)
-		}
-	}
-	return rb
-}
-
-func unionShards(a, b []uint64) []uint64 {
-	set := map[uint64]bool{}
-	for _, s := range a {
-		set[s] = true
-	}
-	for _, s := range b {
-		set[s] = true
-	}
-	out := make([]uint64, 0, len(set))
-	for s := range set {
-		out = append(out, s)
-	}
-	sortShards(out)
-	return out
-}
-
-func sortShards(s []uint64) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return tx, true
 }
 
 // pendingOuts registers the new outputs as spendable in the generator's
@@ -298,10 +213,8 @@ func (g *Generator) pendingOuts(tx *ledger.Tx, id ledger.TxID) {
 }
 
 // invalidTx fabricates a transaction that fails validation: either a spend
-// of a non-existent outpoint or an overspend of a real coin. The second
-// return names the input owner ("" for the ghost outpoint, whose owner
-// nobody can name).
-func (g *Generator) invalidTx(sender string) (*ledger.Tx, string) {
+// of a non-existent outpoint or an overspend of a real coin.
+func (g *Generator) invalidTx(sender string) *ledger.Tx {
 	if len(g.spendable[sender]) > 0 && g.rng.Intn(2) == 0 {
 		coin := g.spendable[sender][0] // not consumed: the tx will be rejected
 		// Overspends follow the configured cross-shard mix so invalid
@@ -311,7 +224,7 @@ func (g *Generator) invalidTx(sender string) (*ledger.Tx, string) {
 			Inputs:  []ledger.OutPoint{coin.op},
 			Outputs: []ledger.Output{{Owner: g.pickReceiver(sender, cross), Amount: coin.amount + 1_000_000}},
 			Nonce:   g.nextNonce(),
-		}, sender
+		}
 	}
 	var ghost ledger.OutPoint
 	g.rng.Read(ghost.Tx[:])
@@ -319,7 +232,7 @@ func (g *Generator) invalidTx(sender string) (*ledger.Tx, string) {
 		Inputs:  []ledger.OutPoint{ghost},
 		Outputs: []ledger.Output{{Owner: sender, Amount: 1}},
 		Nonce:   g.nextNonce(),
-	}, ""
+	}
 }
 
 // Reject informs the generator that a transaction was not accepted, so the

@@ -230,126 +230,3 @@ func TestLongRunDoesNotStarve(t *testing.T) {
 		t.Fatalf("only %d valid transactions over 20 rounds", total)
 	}
 }
-
-func TestRoutedBatchSameStreamAsNextBatch(t *testing.T) {
-	cfg := DefaultConfig()
-	cfg.Users = 60
-	cfg.InvalidFrac = 0.2
-	a, err := New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	flat := a.NextBatch(80)
-	routed := b.NextRoutedBatch(80)
-	if len(flat) != len(routed.All) {
-		t.Fatalf("batch sizes diverged: %d vs %d", len(flat), len(routed.All))
-	}
-	for i := range flat {
-		if flat[i].ID() != routed.All[i].ID() {
-			t.Fatalf("tx %d diverged between NextBatch and NextRoutedBatch", i)
-		}
-	}
-	// Every tx is routed exactly once.
-	n := 0
-	for _, txs := range routed.Intra {
-		n += len(txs)
-	}
-	for _, byOut := range routed.Cross {
-		for _, txs := range byOut {
-			n += len(txs)
-		}
-	}
-	if n != len(routed.All) {
-		t.Fatalf("routed %d of %d transactions", n, len(routed.All))
-	}
-}
-
-func TestRoutedBatchMatchesViewRouting(t *testing.T) {
-	// Generator-side routing must agree with the ledger-view classification
-	// for every tx whose inputs resolve against the confirmed UTXO state
-	// (first batch after genesis: no intra-batch chaining ambiguity for
-	// already-confirmed coins).
-	cfg := DefaultConfig()
-	cfg.Users = 80
-	g, err := New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	view := buildSet(t, g)
-	rb := g.NextRoutedBatch(60)
-	m := cfg.Shards
-	for home, txs := range rb.Intra {
-		for _, tx := range txs {
-			shards := ledger.TouchedShards(tx, view, m)
-			if len(shards) > 1 {
-				// Only allowed when the generator chained the tx onto an
-				// unconfirmed same-batch output the view cannot resolve.
-				if _, ok := view.Get(tx.Inputs[0]); ok {
-					t.Fatalf("intra-routed tx touches %v under the view", shards)
-				}
-				continue
-			}
-			want := uint64(0)
-			if len(shards) == 1 {
-				want = shards[0]
-			} else if outs := ledger.OutputShards(tx, m); len(outs) > 0 {
-				want = outs[0]
-			}
-			if home != want {
-				t.Fatalf("intra tx routed to %d, view says %d", home, want)
-			}
-		}
-	}
-	for i, byOut := range rb.Cross {
-		for j, txs := range byOut {
-			for _, tx := range txs {
-				if _, ok := view.Get(tx.Inputs[0]); !ok {
-					continue // chained input: view cannot classify
-				}
-				ins := ledger.InputShards(tx, view, m)
-				shards := ledger.TouchedShards(tx, view, m)
-				if len(ins) == 0 || len(shards) < 2 {
-					t.Fatalf("cross-routed tx not cross under view: ins=%v touched=%v", ins, shards)
-				}
-				wantI := ins[0]
-				wantJ := shards[0]
-				if wantJ == wantI {
-					wantJ = shards[1]
-				}
-				if i != wantI || j != wantJ {
-					t.Fatalf("cross tx routed (%d→%d), view says (%d→%d)", i, j, wantI, wantJ)
-				}
-			}
-		}
-	}
-}
-
-func TestRoutedBatchCrossRatioTunable(t *testing.T) {
-	for _, frac := range []float64{0, 0.8} {
-		cfg := DefaultConfig()
-		cfg.Users = 200
-		cfg.CrossShardFrac = frac
-		g, err := New(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		rb := g.NextRoutedBatch(200)
-		cross := 0
-		for _, byOut := range rb.Cross {
-			for _, txs := range byOut {
-				cross += len(txs)
-			}
-		}
-		ratio := float64(cross) / float64(len(rb.All))
-		if frac == 0 && cross != 0 {
-			t.Fatalf("cross ratio 0 produced %d cross txs", cross)
-		}
-		if frac == 0.8 && (ratio < 0.6 || ratio > 1.0) {
-			t.Fatalf("cross ratio %.2f far from requested 0.8", ratio)
-		}
-	}
-}

@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBehaviorNameRoundTrip pins ParseBehavior and behaviorName as exact
+// inverses over every registered token and their full composition, so a
+// Behavior flag added to one table but not the other fails here instead
+// of silently serialising the wrong experiment.
+func TestBehaviorNameRoundTrip(t *testing.T) {
+	names := behaviorTokenNames()
+	for _, vote := range append([]string{""}, sortedKeys(voteStrategies)...) {
+		for _, flag := range append([]string{""}, names...) {
+			composed := strings.Trim(vote+","+flag, ",")
+			b, err := ParseBehavior(composed)
+			if err != nil {
+				t.Fatalf("ParseBehavior(%q): %v", composed, err)
+			}
+			name, err := behaviorName(b)
+			if err != nil {
+				t.Fatalf("behaviorName(%+v): %v", b, err)
+			}
+			b2, err := ParseBehavior(name)
+			if err != nil {
+				t.Fatalf("ParseBehavior(behaviorName) = %q: %v", name, err)
+			}
+			if b2 != b {
+				t.Errorf("round trip %q → %+v → %q → %+v", composed, b, name, b2)
+			}
+		}
+	}
+
+	// All flags at once must survive the trip too.
+	all := strings.Join(names, ",")
+	b, err := ParseBehavior(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, err := behaviorName(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != all {
+		t.Errorf("behaviorName of all flags = %q, want %q", name, all)
+	}
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// A Scenario is a named, registered experiment: a description, the paper
+// anchor it reproduces, and the option list that configures it. Scenario
+// diversity is data — a registry entry — not a copy-pasted main function.
+type Scenario struct {
+	Name        string
+	Description string
+	// Paper anchors the scenario to the section/figure of the CycLedger
+	// paper (or this repo's extension) it reproduces.
+	Paper   string
+	Options []Option
+}
+
+// New builds a simulation from the scenario's options plus extra
+// overrides, applied after (and therefore over) the preset.
+func (s Scenario) New(extra ...Option) (*Sim, error) {
+	opts := make([]Option, 0, len(s.Options)+len(extra))
+	opts = append(opts, s.Options...)
+	opts = append(opts, extra...)
+	return New(opts...)
+}
+
+// Config resolves the scenario's options to the Config a run would use.
+func (s Scenario) Config() (Config, error) {
+	return Resolve(s.Options...)
+}
+
+var registry = struct {
+	sync.RWMutex
+	m map[string]Scenario
+}{m: make(map[string]Scenario)}
+
+// Register adds a scenario to the registry. Names must be non-empty and
+// unique; registering a duplicate is an error so presets cannot be
+// silently shadowed.
+func Register(s Scenario) error {
+	if s.Name == "" {
+		return fmt.Errorf("sim: scenario with empty name")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[s.Name]; dup {
+		return fmt.Errorf("sim: scenario %q already registered", s.Name)
+	}
+	registry.m[s.Name] = s
+	return nil
+}
+
+// Lookup finds a registered scenario by name.
+func Lookup(name string) (Scenario, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	s, ok := registry.m[name]
+	return s, ok
+}
+
+// List returns every registered scenario, sorted by name.
+func List() []Scenario {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]Scenario, 0, len(registry.m))
+	for _, s := range registry.m {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func mustRegister(s Scenario) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Built-in presets reproducing the paper's evaluation matrix. The
+// leader-fault pair corrupts exactly the m bootstrap leader seats: with
+// the default topology (n = 4·16+9 = 73) a 0.06 budget is ⌊4.38⌋ = 4
+// nodes, all spent on the four leader seats via CorruptLeaders (0.06
+// rather than 4/73, whose float product can truncate to 3).
+func init() {
+	mustRegister(Scenario{
+		Name:        "default",
+		Description: "3 honest rounds at the default small topology (4 committees of 16, |C_R| = 9)",
+		Paper:       "§VI (small-scale smoke run)",
+	})
+	mustRegister(Scenario{
+		Name:        "paper-scale",
+		Description: "the paper's headline setting: n = 2000, 20 committees of 97, λ = 40, |C_R| = 60 (heavy: minutes per round)",
+		Paper:       "§VI, Figs. 6–8 / Table II",
+		Options: []Option{
+			WithTopology(20, 97, 40, 60),
+			WithWorkload(100, 1.0/3, 0),
+			WithPipeline(false, 0),
+		},
+	})
+	mustRegister(Scenario{
+		Name:        "leader-fault",
+		Description: "every bootstrap leader equivocates and conceals cross-shard lists; recovery evicts them mid-round",
+		Paper:       "§V-D, Algorithm 6 / Fig. 6",
+		Options: []Option{
+			WithRounds(1),
+			WithWorkload(30, 0.5, 0),
+			WithAdversary(0.06, "equivocate,conceal", true),
+		},
+	})
+	mustRegister(Scenario{
+		Name:        "no-recovery",
+		Description: "the leader-fault adversary with leader re-selection disabled — the RapidChain-style liveness baseline",
+		Paper:       "§V-D baseline / Table I \"dishonest leaders\" row",
+		Options: []Option{
+			WithRounds(1),
+			WithWorkload(30, 0.5, 0),
+			WithAdversary(0.06, "equivocate,conceal", true),
+			WithRecovery(false),
+		},
+	})
+	mustRegister(Scenario{
+		Name:        "dos-prescreen",
+		Description: "a DoS-flavoured workload (60% cross-shard, half invalid) with §VIII-A receiver pre-screening enabled",
+		Paper:       "§VIII-A (cross-shard pre-screening)",
+		Options: []Option{
+			WithWorkload(40, 0.6, 0.5),
+			WithPreScreenCross(true),
+		},
+	})
+	mustRegister(Scenario{
+		Name:        "parallel-blockgen",
+		Description: "copy-on-write overlay validation so same-round dependent transactions are both accepted",
+		Paper:       "§VIII-B (parallel block generation)",
+		Options: []Option{
+			WithWorkload(40, 1.0/3, 0),
+			WithParallelBlockGen(true),
+		},
+	})
+	mustRegister(Scenario{
+		Name:        "cross-heavy",
+		Description: "6 committees with 80% cross-shard payments — the workload that stresses inter-committee consensus",
+		Paper:       "§IV-D (inter-committee consensus)",
+		Options: []Option{
+			WithTopology(6, 16, 3, 9),
+			WithWorkload(40, 0.8, 0),
+		},
+	})
+	mustRegister(Scenario{
+		Name:        "reputation",
+		Description: "4 rounds with a 20% vote-inverting minority: honest reputation climbs, byzantine reward weight collapses",
+		Paper:       "§VII (incentive layer) / Fig. 4",
+		Options: []Option{
+			WithRounds(4),
+			WithAdversary(0.2, "invert", false),
+		},
+	})
+}
