@@ -11,6 +11,14 @@
 //	go run ./cmd/cycsim -scenario dos-prescreen -rounds 5
 //	go run ./cmd/cycsim -config run.json -seed 7
 //	go run ./cmd/cycsim -list-scenarios
+//
+// With -sweep (repeatable) or -sweep-file the resolved configuration
+// becomes the base of a parameter grid executed on a parallel worker
+// pool (sim/sweep), aggregated over -seeds replicates per point:
+//
+//	go run ./cmd/cycsim -sweep "m=2,4,8,16" -seeds 5 -sweep-out csv
+//	go run ./cmd/cycsim -scenario cross-heavy -sweep "pipelined=false,true" -seeds 3
+//	go run ./cmd/cycsim -sweep-file grid.json -workers 8 -sweep-out json
 package main
 
 import (
@@ -21,8 +29,10 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 
 	"cycledger/sim"
+	"cycledger/sim/sweep"
 )
 
 func main() {
@@ -54,6 +64,23 @@ func main() {
 	pipelined := flag.Bool("pipelined", def.Pipelined, "run rounds as a concurrent stage pipeline (§IV overlap)")
 	scheme := flag.String("scheme", def.Scheme, "signature scheme: hash|ed25519")
 	top := flag.Int("top", 5, "reputation leaderboard size")
+
+	var sweepAxes []sweep.Axis
+	flag.Func("sweep", "sweep axis `field=v1,v2,...` (repeatable; enables sweep mode)", func(s string) error {
+		ax, err := sweep.ParseAxis(s)
+		if err != nil {
+			return err
+		}
+		sweepAxes = append(sweepAxes, ax)
+		return nil
+	})
+	sweepFile := flag.String("sweep-file", "", "JSON sweep grid file {base, axes, seeds}; -sweep axes append to it")
+	seeds := flag.Int("seeds", 1, "sweep replicates per point (derived seeds; overrides the grid file's)")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	sweepOut := flag.String("sweep-out", "table", "sweep output format: table|markdown|csv|json")
+	sweepMetrics := flag.String("sweep-metrics",
+		"tx_per_round,rejected_per_round,recoveries_per_round,msgs_per_round,ticks_per_round",
+		"comma-separated sweep metrics for table/markdown/csv output (empty = all; json always carries all)")
 	flag.Parse()
 
 	if *list {
@@ -126,11 +153,115 @@ func main() {
 	defer stop()
 	go func() { <-ctx.Done(); stop() }()
 
+	if len(sweepAxes) > 0 || *sweepFile != "" {
+		runSweep(ctx, cfg, sweepCLI{
+			axes:     sweepAxes,
+			file:     *sweepFile,
+			seeds:    *seeds,
+			seedsSet: set["seeds"],
+			workers:  *workers,
+			format:   *sweepOut,
+			metrics:  *sweepMetrics,
+		})
+		return
+	}
+
 	if *jsonOut {
 		runJSON(ctx, cfg, *top)
 		return
 	}
 	runText(ctx, cfg, *top)
+}
+
+// sweepCLI carries the sweep-mode flags into runSweep.
+type sweepCLI struct {
+	axes     []sweep.Axis
+	file     string
+	seeds    int
+	seedsSet bool
+	workers  int
+	format   string
+	metrics  string
+}
+
+// runSweep assembles the grid (the resolved single-run config is its
+// base; a -sweep-file overlays and -sweep axes append), executes it on
+// the worker pool with a progress line on stderr, and writes the
+// aggregate in the requested format. Like single runs, an interrupted
+// sweep still writes the points whose replicates completed.
+func runSweep(ctx context.Context, cfg sim.Config, cli sweepCLI) {
+	g := sweep.Grid{Base: cfg, Seeds: cli.seeds}
+	if cli.file != "" {
+		data, err := os.ReadFile(cli.file)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		g, err = sweep.ParseGrid(data, cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if cli.seedsSet {
+			g.Seeds = cli.seeds
+		}
+	}
+	g.Axes = append(g.Axes, cli.axes...)
+
+	// Reject output-shaping typos before the sweep runs, not after: a bad
+	// -sweep-out or -sweep-metrics must not discard an hour of cells.
+	switch cli.format {
+	case "table", "markdown", "csv", "json":
+	default:
+		fatalf("unknown sweep output format %q (want table|markdown|csv|json)", cli.format)
+	}
+	var metrics []string
+	for _, name := range strings.Split(cli.metrics, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			metrics = append(metrics, name)
+		}
+	}
+	if err := sweep.ValidateMetrics(metrics...); err != nil {
+		fatalf("%v", err)
+	}
+
+	runner := sweep.Runner{
+		Workers: cli.workers,
+		Progress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d cells", done, total)
+		},
+	}
+	res, runErr := runner.Run(ctx, g)
+	if res == nil {
+		fatalf("%v", runErr)
+	}
+	fmt.Fprintln(os.Stderr)
+
+	var err error
+	switch cli.format {
+	case "csv":
+		err = sweep.WriteCSV(os.Stdout, res, metrics...)
+	case "json":
+		err = sweep.WriteJSON(os.Stdout, res)
+	case "markdown":
+		err = printLines(sweep.Markdown(res, metrics...))
+	default: // "table"; the format set was validated before the run
+		err = printLines(sweep.Table(res, metrics...))
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if runErr != nil {
+		fatalf("%v (partial results above)", runErr)
+	}
+}
+
+func printLines(lines []string, err error) error {
+	if err != nil {
+		return err
+	}
+	for _, line := range lines {
+		fmt.Println(line)
+	}
+	return nil
 }
 
 func runText(ctx context.Context, cfg sim.Config, top int) {

@@ -15,6 +15,7 @@ import (
 	"cycledger/internal/analysis"
 	"cycledger/internal/reputation"
 	"cycledger/sim"
+	"cycledger/sim/sweep"
 )
 
 func main() {
@@ -22,6 +23,7 @@ func main() {
 	n := flag.Int64("n", 2000, "population for fig 5")
 	t := flag.Int64("t", 666, "malicious nodes for fig 5")
 	rounds := flag.Int("rounds", 2, "rounds per point for the throughput sweep")
+	seeds := flag.Int("seeds", 1, "replicate seeds per point for the throughput sweep")
 	flag.Parse()
 
 	switch *fig {
@@ -54,31 +56,30 @@ func main() {
 		}
 	case "throughput":
 		// The scalability property (§III-D): measured throughput grows
-		// with the committee count. Each point is a fresh seeded run
-		// through the sim facade.
+		// with the committee count. One sweep over m, seeds replicated,
+		// all points running concurrently on the worker pool.
+		base, err := sim.Resolve(
+			sim.WithTopology(2, 16, 3, 9),
+			sim.WithRounds(*rounds),
+		)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		g := sweep.Grid{
+			Base:  base,
+			Axes:  []sweep.Axis{{Field: "m", Values: []any{2, 4, 6, 8}}},
+			Seeds: *seeds,
+		}
+		res, err := sweep.Run(context.Background(), g)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
 		fmt.Println("m,n,tx_per_round,msgs_per_round")
-		for _, m := range []int{2, 4, 6, 8} {
-			s, err := sim.New(
-				sim.WithTopology(m, 16, 3, 9),
-				sim.WithRounds(*rounds),
-			)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "figures:", err)
-				os.Exit(1)
-			}
-			reports, err := s.Run(context.Background())
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "figures:", err)
-				os.Exit(1)
-			}
-			var tx int
-			var msgs uint64
-			for _, r := range reports {
-				tx += r.Throughput()
-				msgs += r.Messages
-			}
-			fmt.Printf("%d,%d,%.1f,%.0f\n", m, s.TotalNodes(),
-				float64(tx)/float64(len(reports)), float64(msgs)/float64(len(reports)))
+		for _, p := range res.Points {
+			fmt.Printf("%d,%d,%.1f,%.0f\n", p.Config.M, p.Config.TotalNodes(),
+				p.Stats["tx_per_round"].Mean, p.Stats["msgs_per_round"].Mean)
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "figures: unknown figure", *fig)

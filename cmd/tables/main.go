@@ -5,8 +5,9 @@
 //
 // Table I is analytic (failure probabilities, storage, qualitative
 // columns). Table II is measured: the tool runs full protocol rounds at
-// two scales and prints per-phase, per-role traffic together with the
-// observed scaling exponent against the paper's complexity class.
+// two scales — concurrently, through the sim/sweep engine — and prints
+// per-phase, per-role traffic together with the observed scaling exponent
+// against the paper's complexity class.
 package main
 
 import (
@@ -16,8 +17,10 @@ import (
 	"math"
 	"os"
 
+	"cycledger/internal/analysis"
 	"cycledger/internal/baseline"
 	"cycledger/sim"
+	"cycledger/sim/sweep"
 )
 
 func main() {
@@ -41,12 +44,25 @@ func main() {
 
 func printTable1(n, m, c, lambda int64) {
 	fmt.Printf("Table I — comparison of sharding protocols (n=%d, m=%d, c=%d, λ=%d)\n\n", n, m, c, lambda)
-	for _, line := range baseline.Render(n, m, c, lambda) {
+	header := []string{"protocol", "resiliency", "complexity", "storage", "fail_prob", "storage_items", "leader_fault_ok", "incentives", "connection"}
+	rows := make([][]string, 0, 4)
+	channels := baseline.ConnectionChannels(n, m, c, lambda, 60)
+	for _, row := range baseline.TableI() {
+		rows = append(rows, []string{
+			row.Name, row.Resiliency, row.Complexity, row.Storage,
+			fmt.Sprintf("%.3g", row.FailProb(m, c, lambda)),
+			fmt.Sprintf("%.1f", row.StorageItems(n, m, c)),
+			fmt.Sprintf("%v", row.LeaderFaultOK),
+			fmt.Sprintf("%v", row.Incentives),
+			row.ConnectionBurden,
+		})
+	}
+	for _, line := range analysis.FormatTable(header, rows) {
 		fmt.Println(line)
 	}
 	fmt.Println("\nReliable connection channels required:")
-	for name, ch := range baseline.ConnectionChannels(n, m, c, lambda, 60) {
-		fmt.Printf("  %-11s %d\n", name, ch)
+	for _, row := range baseline.TableI() {
+		fmt.Printf("  %-11s %d\n", row.Name, channels[row.Name])
 	}
 }
 
@@ -57,52 +73,47 @@ func growth(a, b float64) float64 {
 	return math.Log2(b / a)
 }
 
-// table2Scale runs one round through the sim facade and returns the
-// per-phase per-role sent message counts.
-func table2Scale(cfg sim.Config) (*sim.RoundReport, error) {
-	s, err := sim.New(sim.FromConfig(cfg))
-	if err != nil {
-		return nil, err
-	}
-	reports, err := s.Run(context.Background())
-	if err != nil {
-		return nil, err
-	}
-	return reports[0], nil
-}
-
 func printTable2() {
 	small := sim.DefaultConfig()
 	small.Rounds = 1
 
-	large := small
-	large.M = 2 * small.M // doubles n at fixed c
-
-	rs, err := table2Scale(small)
+	// One grid, two scales: doubling m at fixed c doubles n. The sweep
+	// engine runs both cells concurrently.
+	g := sweep.Grid{
+		Base: small,
+		Axes: []sweep.Axis{{Field: "m", Values: []any{small.M, 2 * small.M}}},
+	}
+	// KeepReports: this table reads the raw per-phase role-traffic
+	// matrices, not just the folded metrics.
+	res, err := sweep.Runner{KeepReports: true}.Run(context.Background(), g)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tables:", err)
 		os.Exit(1)
 	}
-	rl, err := table2Scale(large)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tables:", err)
-		os.Exit(1)
-	}
+	rs := res.Cells[0].Reports[0]
+	rl := res.Cells[1].Reports[0]
+	cs, cl := res.Points[0].Config, res.Points[1].Config
 
 	fmt.Printf("Table II — measured traffic per phase and role (messages sent)\n")
 	fmt.Printf("small: m=%d c=%d (n=%d)   large: m=%d c=%d (n=%d)\n\n",
-		small.M, small.C, small.TotalNodes(), large.M, large.C, large.TotalNodes())
-	fmt.Printf("%-12s %-8s %10s %10s %7s %12s %12s %7s\n",
-		"phase", "role", "msgs_S", "msgs_L", "exp", "bytes_S", "bytes_L", "exp")
+		cs.M, cs.C, cs.TotalNodes(), cl.M, cl.C, cl.TotalNodes())
+	header := []string{"phase", "role", "msgs_S", "msgs_L", "exp", "bytes_S", "bytes_L", "exp"}
+	var rows [][]string
 	for _, phase := range []string{"config", "semicommit", "intra", "inter", "score", "select", "block"} {
 		for _, role := range []string{"common", "key", "referee"} {
 			ms := float64(rs.RoleTraffic[phase][role].Messages)
 			ml := float64(rl.RoleTraffic[phase][role].Messages)
 			bs := float64(rs.RoleTraffic[phase][role].Bytes)
 			bl := float64(rl.RoleTraffic[phase][role].Bytes)
-			fmt.Printf("%-12s %-8s %10.0f %10.0f %7.2f %12.0f %12.0f %7.2f\n",
-				phase, role, ms, ml, growth(ms, ml), bs, bl, growth(bs, bl))
+			rows = append(rows, []string{
+				phase, role,
+				fmt.Sprintf("%.0f", ms), fmt.Sprintf("%.0f", ml), fmt.Sprintf("%.2f", growth(ms, ml)),
+				fmt.Sprintf("%.0f", bs), fmt.Sprintf("%.0f", bl), fmt.Sprintf("%.2f", growth(bs, bl)),
+			})
 		}
+	}
+	for _, line := range analysis.FormatTable(header, rows) {
+		fmt.Println(line)
 	}
 	fmt.Println("\nexp is the log2 growth when m doubles at fixed c: ≈1 is linear in")
 	fmt.Println("n (=mc), ≈2 is quadratic in m (the paper's O(m²)/O(mn) referee rows).")

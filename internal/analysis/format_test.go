@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFormatTable(t *testing.T) {
+	got := FormatTable(
+		[]string{"name", "fail", "ok"},
+		[][]string{
+			{"Elastico", "0.93", "no"},
+			{"CycLedger", "1.2e-05", "yes"},
+		},
+	)
+	want := []string{
+		"name       fail     ok",
+		"Elastico      0.93  no",
+		"CycLedger  1.2e-05  yes",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("FormatTable:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestFormatTableShortRows(t *testing.T) {
+	got := FormatTable([]string{"a", "b"}, [][]string{{"x"}})
+	want := []string{"a  b", "x"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("FormatTable short row: %q, want %q", got, want)
+	}
+}
+
+func TestMarkdownTable(t *testing.T) {
+	got := MarkdownTable(
+		[]string{"m", "tx"},
+		[][]string{
+			{"2", "120"},
+			{"16", "960"},
+		},
+	)
+	want := []string{
+		"| m   | tx  |",
+		"| --: | --: |",
+		"|   2 | 120 |",
+		"|  16 | 960 |",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("MarkdownTable:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestMarkdownTableTextColumn(t *testing.T) {
+	got := MarkdownTable([]string{"who"}, [][]string{{"alice"}, {"bob"}})
+	want := []string{
+		"| who   |",
+		"| ----- |",
+		"| alice |",
+		"| bob   |",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("MarkdownTable text:\n%q\nwant:\n%q", got, want)
+	}
+}

@@ -8,8 +8,6 @@
 package baseline
 
 import (
-	"fmt"
-
 	"cycledger/internal/analysis"
 )
 
@@ -82,20 +80,6 @@ func TableI() []Row {
 			LeaderFaultOK:    true, Incentives: true, ConnectionBurden: "light",
 		},
 	}
-}
-
-// Render formats the rows at the given parameters, one line per protocol.
-func Render(n, m, c, lambda int64) []string {
-	out := make([]string, 0, 4)
-	for _, row := range TableI() {
-		out = append(out, fmt.Sprintf(
-			"%-11s resiliency=%-8s complexity=%-6s storage=%-13s fail=%9.3g storage(items)=%8.1f leaderFaultOK=%-5v incentives=%-5v connection=%s",
-			row.Name, row.Resiliency, row.Complexity, row.Storage,
-			row.FailProb(m, c, lambda), row.StorageItems(n, m, c),
-			row.LeaderFaultOK, row.Incentives, row.ConnectionBurden,
-		))
-	}
-	return out
 }
 
 // ConnectionChannels estimates the number of reliable channels each model

@@ -1,29 +1,3 @@
-// Package sim is CycLedger's public simulation facade: one entry point
-// that every binary, example, and test builds on instead of hand-wiring
-// protocol.Params.
-//
-// A simulation is assembled with functional options,
-//
-//	s, err := sim.New(
-//		sim.WithTopology(8, 20, 4, 15),
-//		sim.WithAdversary(0.1, "conceal", true),
-//		sim.WithSeed(42),
-//	)
-//
-// or recalled from the scenario registry, which names the paper's
-// experiments as data:
-//
-//	scen, _ := sim.Lookup("leader-fault")
-//	s, err := scen.New() // plus overrides, e.g. scen.New(sim.WithRounds(1))
-//
-// Runs stream: Rounds returns a pull iterator yielding each round's report
-// as it completes, Run collects them, and both honor context
-// cancellation between rounds. Observers (WithObserver) additionally see
-// phase starts and leader recoveries inside a round.
-//
-// The facade adds nothing to the engine's semantics: a sim run is
-// byte-identical to driving protocol.NewEngine with the equivalent
-// Params (see TestScenarioGolden).
 package sim
 
 import (

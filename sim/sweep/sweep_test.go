@@ -1,0 +1,314 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cycledger/sim"
+)
+
+// testBase is a deliberately tiny configuration so grid tests stay fast.
+func testBase(t *testing.T) sim.Config {
+	t.Helper()
+	cfg, err := sim.Resolve(
+		sim.WithTopology(2, 6, 2, 5),
+		sim.WithRounds(2),
+		sim.WithWorkload(8, 0.5, 0),
+		sim.WithSeed(11),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestGridCells(t *testing.T) {
+	g := Grid{
+		Base: testBase(t),
+		Axes: []Axis{
+			{Field: "m", Values: []any{2, 3}},
+			{Field: "cross_frac", Values: []any{0.0, 0.25, 0.5}},
+		},
+		Seeds: 2,
+	}
+	if got := g.Points(); got != 6 {
+		t.Fatalf("Points = %d, want 6", got)
+	}
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 12 {
+		t.Fatalf("len(cells) = %d, want 12", len(cells))
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Errorf("cell %d has Index %d", i, c.Index)
+		}
+		if c.Point != i/2 || c.Rep != i%2 {
+			t.Errorf("cell %d: point=%d rep=%d", i, c.Point, c.Rep)
+		}
+	}
+	// Cross-product order: the last axis varies fastest.
+	first := cells[0]
+	if first.Config.M != 2 || first.Config.CrossFrac != 0 {
+		t.Errorf("cell 0 config: m=%d cross=%v", first.Config.M, first.Config.CrossFrac)
+	}
+	last := cells[len(cells)-1]
+	if last.Config.M != 3 || last.Config.CrossFrac != 0.5 {
+		t.Errorf("last cell config: m=%d cross=%v", last.Config.M, last.Config.CrossFrac)
+	}
+	// Replicate 0 keeps the base seed; later replicates derive distinct,
+	// point-independent seeds.
+	if cells[0].Config.Seed != 11 {
+		t.Errorf("rep 0 seed = %d, want base seed 11", cells[0].Config.Seed)
+	}
+	if cells[1].Config.Seed == 11 || cells[1].Config.Seed == 0 {
+		t.Errorf("rep 1 seed = %d, want distinct non-zero", cells[1].Config.Seed)
+	}
+	if cells[3].Config.Seed != cells[1].Config.Seed {
+		t.Errorf("rep 1 seeds differ across points: %d vs %d", cells[3].Config.Seed, cells[1].Config.Seed)
+	}
+	// Labels name the coordinates in axis order.
+	want := "m=3 cross_frac=0.25 rep=1"
+	if got := cells[9].String(); got != want {
+		t.Errorf("cells[9] = %q, want %q", got, want)
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	base := testBase(t)
+	cases := []struct {
+		name string
+		g    Grid
+		want string
+	}{
+		{"seed axis", Grid{Base: base, Axes: []Axis{{Field: "seed", Values: []any{1, 2}}}}, "seed"},
+		{"empty field", Grid{Base: base, Axes: []Axis{{Values: []any{1}}}}, "empty field"},
+		{"no values", Grid{Base: base, Axes: []Axis{{Field: "m"}}}, "no values"},
+		{"duplicate", Grid{Base: base, Axes: []Axis{{Field: "m", Values: []any{2}}, {Field: "m", Values: []any{3}}}}, "duplicate"},
+		{"unknown field", Grid{Base: base, Axes: []Axis{{Field: "nope", Values: []any{1}}}}, "nope"},
+		{"type mismatch", Grid{Base: base, Axes: []Axis{{Field: "m", Values: []any{"two"}}}}, "two"},
+	}
+	for _, tc := range cases {
+		if _, err := tc.g.Cells(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseAxis(t *testing.T) {
+	ax, err := ParseAxis("m=2, 4,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ax.Field != "m" || len(ax.Values) != 3 || ax.Values[0] != 2.0 || ax.Values[2] != 8.0 {
+		t.Errorf("ParseAxis numeric: %+v", ax)
+	}
+	ax, err = ParseAxis("pipelined=false,true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ax.Values[0] != false || ax.Values[1] != true {
+		t.Errorf("ParseAxis bool: %+v", ax)
+	}
+	ax, err = ParseAxis("behavior=invert,lazy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ax.Values[0] != "invert" || ax.Values[1] != "lazy" {
+		t.Errorf("ParseAxis string: %+v", ax)
+	}
+	for _, bad := range []string{"m", "=1,2", "m=", "m=1,,2"} {
+		if _, err := ParseAxis(bad); err == nil {
+			t.Errorf("ParseAxis(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseGrid(t *testing.T) {
+	base := testBase(t)
+	doc := []byte(`{
+		"base": {"rounds": 1, "tx_per_committee": 5},
+		"axes": [{"field": "m", "values": [2, 3]}],
+		"seeds": 4
+	}`)
+	g, err := ParseGrid(doc, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Base.Rounds != 1 || g.Base.TxPerCommittee != 5 {
+		t.Errorf("base overlay not applied: %+v", g.Base)
+	}
+	if g.Base.CrossFrac != base.CrossFrac {
+		t.Errorf("base overlay clobbered unmentioned field: cross=%v", g.Base.CrossFrac)
+	}
+	if g.Seeds != 4 || len(g.Axes) != 1 || g.Axes[0].Field != "m" {
+		t.Errorf("grid shape: %+v", g)
+	}
+	if _, err := ParseGrid([]byte(`{"sedes": 3}`), base); err == nil {
+		t.Error("unknown top-level key accepted")
+	}
+	if _, err := ParseGrid([]byte(`{"base": {"nope": 1}}`), base); err == nil {
+		t.Error("unknown base field accepted")
+	}
+}
+
+func TestSummarizeAndStats(t *testing.T) {
+	st := NewStat([]float64{1, 2, 3})
+	if st.N != 3 || st.Mean != 2 || st.Min != 1 || st.Max != 3 {
+		t.Errorf("Stat = %+v", st)
+	}
+	if math.Abs(st.Std-1) > 1e-12 {
+		t.Errorf("Std = %v, want 1", st.Std)
+	}
+	wantCI := 4.303 * 1 / math.Sqrt(3)
+	if math.Abs(st.CI95-wantCI) > 1e-9 {
+		t.Errorf("CI95 = %v, want %v", st.CI95, wantCI)
+	}
+	one := NewStat([]float64{7})
+	if one.N != 1 || one.Mean != 7 || one.Std != 0 || one.CI95 != 0 {
+		t.Errorf("single-sample Stat = %+v", one)
+	}
+	if got := NewStat(nil); got != (Stat{}) {
+		t.Errorf("empty Stat = %+v", got)
+	}
+}
+
+func TestSweepRunsAndAggregates(t *testing.T) {
+	g := Grid{
+		Base:  testBase(t),
+		Axes:  []Axis{{Field: "m", Values: []any{2, 3}}},
+		Seeds: 3,
+	}
+	res, err := Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete() {
+		t.Fatalf("sweep incomplete: %d cells", len(res.Cells))
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(res.Points))
+	}
+	for _, p := range res.Points {
+		st, ok := p.Stats["tx_per_round"]
+		if !ok || st.N != 3 {
+			t.Errorf("point %d tx_per_round stat: %+v", p.Index, st)
+		}
+		if st.Mean <= 0 {
+			t.Errorf("point %d zero throughput", p.Index)
+		}
+		if st.Min > st.Mean || st.Mean > st.Max {
+			t.Errorf("point %d stat ordering violated: %+v", p.Index, st)
+		}
+		if p.Config.Seed != g.Base.Seed {
+			t.Errorf("point config seed = %d, want base %d", p.Config.Seed, g.Base.Seed)
+		}
+	}
+	// Raw reports are dropped unless the Runner opts in.
+	if res.Cells[0].Reports != nil {
+		t.Error("Reports retained without KeepReports")
+	}
+	kept, err := Runner{Workers: 2, KeepReports: true}.Run(context.Background(), Grid{Base: testBase(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(kept.Cells[0].Reports); got != kept.Grid.Base.Rounds {
+		t.Errorf("KeepReports retained %d reports, want %d", got, kept.Grid.Base.Rounds)
+	}
+
+	// Replicate 0 of each point must equal a direct single run at the
+	// base seed (deriveSeed keeps it).
+	s, err := sim.New(sim.FromConfig(res.Cells[0].Config))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Cells[0].Metrics, Summarize(reports); got != want {
+		t.Errorf("rep 0 metrics diverge from single run: %+v vs %+v", got, want)
+	}
+}
+
+func TestSweepCellErrorAborts(t *testing.T) {
+	g := Grid{
+		Base:  testBase(t),
+		Axes:  []Axis{{Field: "malicious_frac", Values: []any{0.0, 0.5}}}, // 0.5 without a behavior is rejected
+		Seeds: 1,
+	}
+	res, err := Runner{Workers: 1}.Run(context.Background(), g)
+	if err == nil {
+		t.Fatal("sweep with an invalid point succeeded")
+	}
+	if !strings.Contains(err.Error(), "malicious_frac=0.5") {
+		t.Errorf("error does not name the failing cell: %v", err)
+	}
+	if res == nil || res.Complete() {
+		t.Errorf("expected partial result, got %+v", res)
+	}
+}
+
+func TestSweepCancellation(t *testing.T) {
+	g := Grid{
+		Base:  testBase(t),
+		Axes:  []Axis{{Field: "m", Values: []any{2, 3}}},
+		Seeds: 4,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var seen int
+	r := Runner{
+		Workers: 1,
+		Progress: func(done, total int) {
+			seen = done
+			if done == 3 {
+				cancel()
+			}
+		},
+	}
+	res, err := r.Run(ctx, g)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if seen < 3 || res.Complete() {
+		t.Fatalf("expected a partial sweep, got %d cells (progress %d)", len(res.Cells), seen)
+	}
+	if len(res.Cells) == 0 || len(res.Points) == 0 {
+		t.Fatal("partial result lost its completed cells")
+	}
+	// Partial aggregation: stats cover only the completed replicates.
+	for _, p := range res.Points {
+		if st := p.Stats["tx_per_round"]; st.N > 4 || st.N < 1 {
+			t.Errorf("point %d N = %d", p.Index, st.N)
+		}
+	}
+}
+
+func TestSweepWorkerOversubscription(t *testing.T) {
+	// More workers than cells must behave identically to a matched pool.
+	g := Grid{Base: testBase(t), Seeds: 2}
+	res, err := Runner{Workers: 64}.Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete() || len(res.Points) != 1 {
+		t.Fatalf("single-point grid result: %d cells, %d points", len(res.Cells), len(res.Points))
+	}
+}
+
+func shuffledCells(t *testing.T, g Grid, seed int64) []Cell {
+	t.Helper()
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(cells), func(i, j int) { cells[i], cells[j] = cells[j], cells[i] })
+	return cells
+}

@@ -1,0 +1,168 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"cycledger/internal/analysis"
+)
+
+// The writers render a Result deterministically: floats print in
+// shortest-roundtrip form, points in point order, metrics in MetricNames
+// order — so two sweeps of the same grid produce byte-identical output
+// whatever the worker count. CSV (one row per point, gnuplot- and
+// pandas-ready) and JSON carry the full statistics; Markdown and Table
+// render "mean ± ci95" summaries for documents and terminals.
+
+// WriteCSV writes one row per aggregated point: the axis fields, the
+// completed replicate count ("seeds"), then mean/std/min/max/ci95 columns
+// for each selected metric (all metrics when none are named).
+func WriteCSV(w io.Writer, res *Result, metrics ...string) error {
+	names, err := selectMetrics(metrics)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := axisFields(res.Grid)
+	header = append(header, "seeds")
+	for _, name := range names {
+		header = append(header,
+			name+"_mean", name+"_std", name+"_min", name+"_max", name+"_ci95")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, p := range res.Points {
+		row := make([]string, 0, len(header))
+		for _, lv := range p.Labels {
+			row = append(row, FormatValue(lv.Value))
+		}
+		row = append(row, strconv.Itoa(pointN(p, names)))
+		for _, name := range names {
+			st := p.Stats[name]
+			row = append(row,
+				formatFloat(st.Mean), formatFloat(st.Std),
+				formatFloat(st.Min), formatFloat(st.Max), formatFloat(st.CI95))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON writes the Result as an indented JSON document: the grid, the
+// aggregated points with full statistics, and each completed cell's
+// metrics (raw round reports are not serialised).
+func WriteJSON(w io.Writer, res *Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// Markdown renders the aggregated points as a markdown pipe-table: one row
+// per point, one "mean ± ci95" column per selected metric (all metrics
+// when none are named).
+func Markdown(res *Result, metrics ...string) ([]string, error) {
+	header, rows, err := summaryTable(res, metrics)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.MarkdownTable(header, rows), nil
+}
+
+// Table renders the same summary as Markdown as aligned plain text for
+// terminals.
+func Table(res *Result, metrics ...string) ([]string, error) {
+	header, rows, err := summaryTable(res, metrics)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.FormatTable(header, rows), nil
+}
+
+// summaryTable builds the shared header/rows of the human-readable
+// renderings.
+func summaryTable(res *Result, metrics []string) ([]string, [][]string, error) {
+	names, err := selectMetrics(metrics)
+	if err != nil {
+		return nil, nil, err
+	}
+	header := axisFields(res.Grid)
+	header = append(header, "seeds")
+	header = append(header, names...)
+	rows := make([][]string, 0, len(res.Points))
+	for _, p := range res.Points {
+		row := make([]string, 0, len(header))
+		for _, lv := range p.Labels {
+			row = append(row, FormatValue(lv.Value))
+		}
+		row = append(row, strconv.Itoa(pointN(p, names)))
+		for _, name := range names {
+			st := p.Stats[name]
+			if st.N > 1 {
+				row = append(row, fmt.Sprintf("%.6g ± %.3g", st.Mean, st.CI95))
+			} else {
+				row = append(row, fmt.Sprintf("%.6g", st.Mean))
+			}
+		}
+		rows = append(rows, row)
+	}
+	return header, rows, nil
+}
+
+// ValidateMetrics checks a metric selection against MetricNames without
+// rendering anything, so callers can reject a typo before an expensive
+// sweep runs rather than after. The empty selection is valid (it means
+// every metric).
+func ValidateMetrics(metrics ...string) error {
+	_, err := selectMetrics(metrics)
+	return err
+}
+
+// selectMetrics resolves a metric selection against MetricNames, keeping
+// canonical order semantics: the empty selection means every metric.
+func selectMetrics(metrics []string) ([]string, error) {
+	if len(metrics) == 0 {
+		return MetricNames(), nil
+	}
+	known := map[string]bool{}
+	for _, name := range MetricNames() {
+		known[name] = true
+	}
+	for _, name := range metrics {
+		if !known[name] {
+			return nil, fmt.Errorf("sweep: unknown metric %q (known: %v)", name, MetricNames())
+		}
+	}
+	return metrics, nil
+}
+
+// axisFields returns the grid's axis field names, the label columns every
+// writer leads with.
+func axisFields(g Grid) []string {
+	out := make([]string, 0, len(g.Axes)+1)
+	for _, ax := range g.Axes {
+		out = append(out, ax.Field)
+	}
+	return out
+}
+
+// pointN returns the replicate count behind a point's stats (identical
+// across metrics; taken from the first selected one).
+func pointN(p Point, names []string) int {
+	if len(names) == 0 {
+		return 0
+	}
+	return p.Stats[names[0]].N
+}
+
+// formatFloat renders a float in shortest-roundtrip form, the
+// deterministic format the byte-identity guarantee relies on.
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
