@@ -380,6 +380,38 @@ func BenchmarkPipelinedThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkRoundHotPath is the canonical per-round cost benchmark: one
+// engine, default parameters, RunRound in a tight loop. Engine construction
+// (key generation, genesis) is excluded, so ns/op and allocs/op measure the
+// steady-state ledger→routing→consensus round hot path that ISSUE 4's
+// optimizations target. tools/benchjson records it into BENCH_round.json so
+// successive PRs have a trajectory to beat.
+func BenchmarkRoundHotPath(b *testing.B) {
+	p := protocol.DefaultParams()
+	p.PowHardness = 1 << 12
+	e, err := protocol.NewEngine(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tput int
+	var ticks float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := e.RunRound()
+		if err != nil {
+			b.Fatal(err)
+		}
+		tput += r.Throughput()
+		ticks += float64(r.Duration)
+	}
+	b.ReportMetric(float64(tput)/float64(b.N), "tx/round")
+	b.ReportMetric(ticks/float64(b.N), "ticks/round")
+	if ticks > 0 {
+		b.ReportMetric(float64(tput)/ticks, "tx/tick")
+	}
+}
+
 // --- substrate micro-benchmarks -------------------------------------------
 
 func BenchmarkVRFProveVerify(b *testing.B) {

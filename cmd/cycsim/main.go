@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -81,7 +83,27 @@ func main() {
 	sweepMetrics := flag.String("sweep-metrics",
 		"tx_per_round,rejected_per_round,recoveries_per_round,msgs_per_round,ticks_per_round",
 		"comma-separated sweep metrics for table/markdown/csv output (empty = all; json always carries all)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (post-run, after GC) to `file`")
 	flag.Parse()
+
+	// Profiling hooks: the CPU profile brackets the whole run (including
+	// sweep workers); the heap profile is captured after the run settles so
+	// it shows steady-state retention, not transient garbage. stopProfiles
+	// also runs on the fatalf path, so an interrupted run still leaves
+	// usable profiles behind. See EXPERIMENTS.md, "Profiling & benchmarking".
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("%v", err)
+		}
+		cpuProfiling = true
+	}
+	memProfilePath = *memprofile
+	defer stopProfiles()
 
 	if *list {
 		for _, s := range sim.List() {
@@ -358,7 +380,37 @@ func leaderboard(s *sim.Sim, top int) []repEntry {
 	return entries
 }
 
+// Profiling state shared between main's setup and the fatalf exit path.
+var (
+	cpuProfiling   bool
+	memProfilePath string
+)
+
+// stopProfiles finalises any requested pprof outputs. It is idempotent so
+// both the deferred call in main and the fatalf path may run it.
+func stopProfiles() {
+	if cpuProfiling {
+		pprof.StopCPUProfile()
+		cpuProfiling = false
+	}
+	if memProfilePath != "" {
+		path := memProfilePath
+		memProfilePath = ""
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cycsim: "+err.Error())
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cycsim: "+err.Error())
+		}
+	}
+}
+
 func fatalf(format string, args ...any) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "cycsim: "+fmt.Sprintf(format, args...))
 	os.Exit(1)
 }

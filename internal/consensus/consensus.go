@@ -60,8 +60,7 @@ func (w Witness) Valid(scheme SignatureScheme, pk crypto.PublicKey) bool {
 		return false
 	}
 	for _, p := range []Propose{w.A, w.B} {
-		parts := sigParts(TagPropose, p.Round, p.SN, p.Digest)
-		if scheme.Verify(pk, p.Sig, parts...) != nil {
+		if scheme.Verify(pk, p.Sig, sigMsg(TagPropose, p.Round, p.SN, p.Digest, -1)) != nil {
 			return false
 		}
 	}
@@ -104,8 +103,7 @@ func VerifyCert(scheme SignatureScheme, res Result, committee []simnet.NodeID, p
 			return fmt.Errorf("consensus: duplicate confirmer %d", c.Confirmer)
 		}
 		seen[c.Confirmer] = true
-		parts := sigParts(TagConfirm, c.Round, c.SN, c.Digest, nodeBytes(int32(c.Confirmer)))
-		if err := scheme.Verify(pkOf(c.Confirmer), c.Sig, parts...); err != nil {
+		if err := scheme.Verify(pkOf(c.Confirmer), c.Sig, sigMsg(TagConfirm, c.Round, c.SN, c.Digest, int32(c.Confirmer))); err != nil {
 			return fmt.Errorf("consensus: confirm signature from %d: %w", c.Confirmer, err)
 		}
 	}
@@ -189,7 +187,7 @@ type Digestable interface {
 // BuildPropose constructs a signed proposal; exported so adversarial
 // leaders can craft conflicting proposals in tests and attack scenarios.
 func BuildPropose(scheme SignatureScheme, kp crypto.KeyPair, leader simnet.NodeID, round, sn uint64, digest crypto.Digest, payload any, size int) Propose {
-	sig := scheme.Sign(kp, sigParts(TagPropose, round, sn, digest)...)
+	sig := scheme.Sign(kp, sigMsg(TagPropose, round, sn, digest, -1))
 	return Propose{Round: round, SN: sn, Digest: digest, Payload: payload, Size: size, Leader: leader, Sig: sig}
 }
 
@@ -208,7 +206,7 @@ func (p *Protocol) Propose(ctx *simnet.Context, sn uint64, digest crypto.Digest,
 	// The leader implicitly echoes and confirms its own proposal.
 	p.recordEcho(ctx, sn, Echo{
 		Round: p.Round, SN: sn, Digest: digest, Echoer: p.Self,
-		Sig:     p.Scheme.Sign(p.Keys, sigParts(TagEcho, p.Round, sn, digest, nodeBytes(int32(p.Self)))...),
+		Sig:     p.Scheme.Sign(p.Keys, sigMsg(TagEcho, p.Round, sn, digest, int32(p.Self))),
 		Propose: prop,
 	})
 }
@@ -285,8 +283,7 @@ func (p *Protocol) onPropose(ctx *simnet.Context, prop Propose) {
 	if prop.Round != p.Round || prop.Leader != p.Leader {
 		return
 	}
-	parts := sigParts(TagPropose, prop.Round, prop.SN, prop.Digest)
-	if p.Scheme.Verify(p.PKOf(p.Leader), prop.Sig, parts...) != nil {
+	if p.Scheme.Verify(p.PKOf(p.Leader), prop.Sig, sigMsg(TagPropose, prop.Round, prop.SN, prop.Digest, -1)) != nil {
 		return
 	}
 	if p.checkEquivocation(ctx, prop.SN, prop) {
@@ -301,7 +298,7 @@ func (p *Protocol) onPropose(ctx *simnet.Context, prop Propose) {
 	}
 	in.propose = &prop
 	// ECHO to the whole committee, retransmitting the proposal.
-	echoSig := p.Scheme.Sign(p.Keys, sigParts(TagEcho, prop.Round, prop.SN, prop.Digest, nodeBytes(int32(p.Self)))...)
+	echoSig := p.Scheme.Sign(p.Keys, sigMsg(TagEcho, prop.Round, prop.SN, prop.Digest, int32(p.Self)))
 	echo := Echo{Round: prop.Round, SN: prop.SN, Digest: prop.Digest, Echoer: p.Self, Sig: echoSig, Propose: prop}
 	size := prop.Size + 2*p.Scheme.SigSize() + crypto.HashSize
 	for _, id := range p.Committee {
@@ -317,15 +314,14 @@ func (p *Protocol) onEcho(ctx *simnet.Context, e Echo) {
 	if e.Round != p.Round {
 		return
 	}
-	parts := sigParts(TagEcho, e.Round, e.SN, e.Digest, nodeBytes(int32(e.Echoer)))
-	if p.Scheme.Verify(p.PKOf(e.Echoer), e.Sig, parts...) != nil {
+	if p.Scheme.Verify(p.PKOf(e.Echoer), e.Sig, sigMsg(TagEcho, e.Round, e.SN, e.Digest, int32(e.Echoer))) != nil {
 		return
 	}
 	// Adopt/inspect the retransmitted proposal: it is leader-signed, so it
 	// both substitutes for a missed PROPOSE and feeds equivocation checks.
-	pparts := sigParts(TagPropose, e.Propose.Round, e.Propose.SN, e.Propose.Digest)
+	pmsg := sigMsg(TagPropose, e.Propose.Round, e.Propose.SN, e.Propose.Digest, -1)
 	if e.Propose.Round == p.Round && e.Propose.SN == e.SN &&
-		p.Scheme.Verify(p.PKOf(p.Leader), e.Propose.Sig, pparts...) == nil {
+		p.Scheme.Verify(p.PKOf(p.Leader), e.Propose.Sig, pmsg) == nil {
 		if p.checkEquivocation(ctx, e.SN, e.Propose) {
 			return
 		}
@@ -337,7 +333,7 @@ func (p *Protocol) onEcho(ctx *simnet.Context, e Echo) {
 			prop := e.Propose
 			in.propose = &prop
 			// Echo ourselves now that we hold the proposal.
-			echoSig := p.Scheme.Sign(p.Keys, sigParts(TagEcho, prop.Round, prop.SN, prop.Digest, nodeBytes(int32(p.Self)))...)
+			echoSig := p.Scheme.Sign(p.Keys, sigMsg(TagEcho, prop.Round, prop.SN, prop.Digest, int32(p.Self)))
 			mine := Echo{Round: prop.Round, SN: prop.SN, Digest: prop.Digest, Echoer: p.Self, Sig: echoSig, Propose: prop}
 			size := prop.Size + 2*p.Scheme.SigSize() + crypto.HashSize
 			for _, id := range p.Committee {
@@ -380,7 +376,7 @@ func (p *Protocol) maybeConfirm(ctx *simnet.Context, sn uint64) {
 	}
 	in.confirmSent = true
 	in.accepted = true
-	sig := p.Scheme.Sign(p.Keys, sigParts(TagConfirm, p.Round, sn, d, nodeBytes(int32(p.Self)))...)
+	sig := p.Scheme.Sign(p.Keys, sigMsg(TagConfirm, p.Round, sn, d, int32(p.Self)))
 	conf := Confirm{Round: p.Round, SN: sn, Digest: d, Confirmer: p.Self, Sig: sig, EchoSigs: echoSigs}
 	if p.OnAccept != nil {
 		p.OnAccept(ctx, sn, d, in.propose.Payload)
@@ -397,8 +393,7 @@ func (p *Protocol) onConfirm(ctx *simnet.Context, c Confirm) {
 	if p.Self != p.Leader || c.Round != p.Round {
 		return
 	}
-	parts := sigParts(TagConfirm, c.Round, c.SN, c.Digest, nodeBytes(int32(c.Confirmer)))
-	if p.Scheme.Verify(p.PKOf(c.Confirmer), c.Sig, parts...) != nil {
+	if p.Scheme.Verify(p.PKOf(c.Confirmer), c.Sig, sigMsg(TagConfirm, c.Round, c.SN, c.Digest, int32(c.Confirmer))) != nil {
 		return
 	}
 	in := p.inst(c.SN)

@@ -264,7 +264,7 @@ func TestWitnessValidation(t *testing.T) {
 	other := crypto.GenerateKeyPair(rng)
 	forged := a
 	forged.Digest = crypto.HString("forged")
-	forged.Sig = scheme.Sign(other, sigParts(TagPropose, 1, 1, forged.Digest)...)
+	forged.Sig = scheme.Sign(other, sigMsg(TagPropose, 1, 1, forged.Digest, -1))
 	if (Witness{A: forged, B: b}).Valid(scheme, kp.PK) {
 		t.Fatal("forged witness accepted — honest leader framed")
 	}

@@ -1,0 +1,88 @@
+package consensus
+
+import (
+	"math/rand"
+	"testing"
+
+	"cycledger/internal/crypto"
+)
+
+// TestHashSchemeSigLengths covers the malformed-signature edge cases of the
+// constant-time verifier: truncated, oversized, empty, and bit-flipped tags
+// must all be rejected, and a genuine tag must verify.
+func TestHashSchemeSigLengths(t *testing.T) {
+	s := HashScheme{}
+	kp := crypto.GenerateKeyPair(rand.New(rand.NewSource(1)))
+	msg := sigMsg(TagPropose, 7, 3, crypto.HString("payload"), -1)
+
+	sig := s.Sign(kp, msg)
+	if len(sig) != s.SigSize() {
+		t.Fatalf("signature length %d, want SigSize %d", len(sig), s.SigSize())
+	}
+	if err := s.Verify(kp.PK, sig, msg); err != nil {
+		t.Fatalf("genuine signature rejected: %v", err)
+	}
+	if err := s.Verify(kp.PK, sig[:len(sig)-1], msg); err == nil {
+		t.Fatal("truncated signature accepted")
+	}
+	if err := s.Verify(kp.PK, append(append([]byte(nil), sig...), 0), msg); err == nil {
+		t.Fatal("oversized signature accepted")
+	}
+	if err := s.Verify(kp.PK, nil, msg); err == nil {
+		t.Fatal("empty signature accepted")
+	}
+	flipped := append([]byte(nil), sig...)
+	flipped[0] ^= 0x80
+	if err := s.Verify(kp.PK, flipped, msg); err == nil {
+		t.Fatal("bit-flipped signature accepted")
+	}
+	other := crypto.GenerateKeyPair(rand.New(rand.NewSource(2)))
+	if err := s.Verify(other.PK, sig, msg); err == nil {
+		t.Fatal("signature verified under a different key")
+	}
+}
+
+// TestHashSchemeAppendSign checks the append-into-caller-buffer variant
+// produces the same tag as Sign and does not allocate when the buffer has
+// capacity.
+func TestHashSchemeAppendSign(t *testing.T) {
+	s := HashScheme{}
+	kp := crypto.GenerateKeyPair(rand.New(rand.NewSource(3)))
+	msg := sigMsg(TagEcho, 1, 2, crypto.HString("m"), 4)
+
+	want := s.Sign(kp, msg)
+	got := s.AppendSign(make([]byte, 0, s.SigSize()), kp, msg)
+	if string(got) != string(want) {
+		t.Fatal("AppendSign disagrees with Sign")
+	}
+	buf := make([]byte, 0, s.SigSize())
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = s.AppendSign(buf[:0], kp, msg)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendSign into a sized buffer allocated %.1f times per run", allocs)
+	}
+}
+
+// TestSigMsgInjective spot-checks the fixed-width encoding: distinct
+// instances, digests, and signer fields must produce distinct messages.
+func TestSigMsgInjective(t *testing.T) {
+	d1, d2 := crypto.HString("a"), crypto.HString("b")
+	base := sigMsg(TagConfirm, 1, 2, d1, 3)
+	for name, other := range map[string][]byte{
+		"different round":  sigMsg(TagConfirm, 9, 2, d1, 3),
+		"different sn":     sigMsg(TagConfirm, 1, 9, d1, 3),
+		"different digest": sigMsg(TagConfirm, 1, 2, d2, 3),
+		"different node":   sigMsg(TagConfirm, 1, 2, d1, 9),
+		"different tag":    sigMsg(TagEcho, 1, 2, d1, 3),
+	} {
+		if string(base) == string(other) {
+			t.Fatalf("sigMsg collides on %s", name)
+		}
+	}
+	withNode := sigMsg(TagPropose, 1, 2, d1, 0)
+	without := sigMsg(TagPropose, 1, 2, d1, -1)
+	if string(withNode) == string(without) {
+		t.Fatal("sigMsg collides on present-vs-absent node field")
+	}
+}

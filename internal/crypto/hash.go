@@ -5,12 +5,22 @@
 // committees and partial sets.
 //
 // Everything is built on the Go standard library only.
+//
+// The arithmetic helpers on Digest (Mod, BelowTarget) and the Target type
+// run on fixed [4]uint64 limbs via math/bits — no math/big, and therefore no
+// heap allocation — because they sit on the simulator's per-candidate,
+// per-attempt hot paths (shard assignment, the PoW search loop, the role
+// lottery). The math/big versions (Below, FractionTarget, MaxDigestInt) are
+// kept as reference oracles; equivalence is enforced by tests.
 package crypto
 
 import (
 	"crypto/sha256"
+	"encoding"
 	"encoding/binary"
+	"hash"
 	"math/big"
+	"math/bits"
 )
 
 // HashSize is the byte length of the protocol hash H (SHA-256).
@@ -35,13 +45,113 @@ func H(parts ...[]byte) Digest {
 	return d
 }
 
+// HKeyed is H with a distinguished first part: HKeyed(key, parts...) equals
+// H(key, parts...) byte for byte, but avoids materialising the combined
+// [][]byte header that `append([][]byte{key}, parts...)` would allocate.
+// Per-message signing (consensus.HashScheme) uses it so tagging a message
+// with the signer's key costs no steady-state allocation.
+func HKeyed(key []byte, parts ...[]byte) Digest {
+	h := sha256.New()
+	var lenBuf [8]byte
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(key)))
+	h.Write(lenBuf[:])
+	h.Write(key)
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write(p)
+	}
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// AppendH appends H(parts...) to dst and returns the extended slice — the
+// append-into-caller-buffer variant of H. With sufficient capacity in dst
+// the call performs no allocation.
+func AppendH(dst []byte, parts ...[]byte) []byte {
+	d := H(parts...)
+	return append(dst, d[:]...)
+}
+
+// AppendHKeyed appends HKeyed(key, parts...) to dst and returns the
+// extended slice.
+func AppendHKeyed(dst []byte, key []byte, parts ...[]byte) []byte {
+	d := HKeyed(key, parts...)
+	return append(dst, d[:]...)
+}
+
+// PrefixHasher computes H(prefix..., tail) for one fixed prefix and many
+// tails: the prefix's framed stream is absorbed once and the SHA-256
+// midstate snapshotted, then each SumWith resumes the snapshot and absorbs
+// only the tail — one fewer compression per digest, with the length-prefix
+// framing (H's private injectivity invariant) staying inside this package.
+// The PoW search uses it, evaluating one digest per attempted nonce.
+// A PrefixHasher is not safe for concurrent use; the zero value is not
+// usable, construct with NewPrefixHasher.
+type PrefixHasher struct {
+	h      hash.Hash
+	resume encoding.BinaryUnmarshaler
+	state  []byte
+	buf    []byte // framed-tail scratch, reused across SumWith calls
+	sum    []byte // digest scratch, reused across SumWith calls
+}
+
+// NewPrefixHasher absorbs the prefix parts (framed exactly as H frames
+// them) and snapshots the midstate.
+func NewPrefixHasher(prefix ...[]byte) (*PrefixHasher, error) {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, p := range prefix {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write(p)
+	}
+	state, err := h.(encoding.BinaryMarshaler).MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return &PrefixHasher{
+		h:      h,
+		resume: h.(encoding.BinaryUnmarshaler),
+		state:  state,
+		sum:    make([]byte, 0, HashSize),
+	}, nil
+}
+
+// SumWith returns H(prefix..., tail), resuming the snapshotted midstate.
+// Steady-state calls do not allocate.
+func (p *PrefixHasher) SumWith(tail []byte) Digest {
+	if err := p.resume.UnmarshalBinary(p.state); err != nil {
+		// The state came from MarshalBinary of the same hash; a mismatch is
+		// unreachable short of memory corruption.
+		panic("crypto: resuming SHA-256 midstate: " + err.Error())
+	}
+	need := 8 + len(tail)
+	if cap(p.buf) < need {
+		p.buf = make([]byte, need)
+	}
+	buf := p.buf[:need]
+	binary.BigEndian.PutUint64(buf[:8], uint64(len(tail)))
+	copy(buf[8:], tail)
+	p.h.Write(buf)
+	var d Digest
+	copy(d[:], p.h.Sum(p.sum[:0]))
+	return d
+}
+
 // HString is a convenience wrapper hashing string parts.
 func HString(parts ...string) Digest {
-	bs := make([][]byte, len(parts))
-	for i, s := range parts {
-		bs[i] = []byte(s)
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, s := range parts {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(s)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(s))
 	}
-	return H(bs...)
+	var d Digest
+	h.Sum(d[:0])
+	return d
 }
 
 // Bytes returns the digest as a byte slice.
@@ -54,18 +164,85 @@ func (d Digest) Uint64() uint64 {
 }
 
 // Mod returns the digest interpreted as a 256-bit big-endian integer,
-// reduced modulo m. m must be positive.
+// reduced modulo m. m must be positive. The reduction chains bits.Div64
+// across the four 64-bit limbs (allocation-free); a test proves equivalence
+// with the math/big reference.
 func (d Digest) Mod(m uint64) uint64 {
 	if m == 0 {
 		panic("crypto: Mod by zero")
 	}
-	x := new(big.Int).SetBytes(d[:])
-	return x.Mod(x, new(big.Int).SetUint64(m)).Uint64()
+	var rem uint64
+	for i := 0; i < HashSize; i += 8 {
+		// rem < m always holds, so Div64's hi < y precondition is met.
+		_, rem = bits.Div64(rem, binary.BigEndian.Uint64(d[i:i+8]), m)
+	}
+	return rem
+}
+
+// Target is a 256-bit comparison threshold as four big-endian uint64 limbs
+// (limb 0 is the most significant). It replaces *big.Int targets on the hot
+// comparison paths: the PoW puzzle search evaluates BelowTarget once per
+// attempted nonce, and the role lottery once per candidate per role, so the
+// threshold must compare without allocating.
+type Target [4]uint64
+
+// MaxTarget is the largest representable target (2^256 − 1); every digest
+// satisfies BelowTarget(MaxTarget).
+var MaxTarget = Target{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}
+
+// TargetFromBig converts a big.Int threshold to limbs. Values ≥ 2^256
+// saturate to MaxTarget; negative values collapse to zero. It exists for
+// interoperating with the math/big reference helpers and for tests.
+func TargetFromBig(x *big.Int) Target {
+	if x.Sign() <= 0 {
+		return Target{}
+	}
+	if x.BitLen() > 256 {
+		return MaxTarget
+	}
+	var buf [32]byte
+	x.FillBytes(buf[:])
+	var t Target
+	for i := range t {
+		t[i] = binary.BigEndian.Uint64(buf[8*i : 8*i+8])
+	}
+	return t
+}
+
+// Big returns the target as a math/big integer (reference/oracle use).
+func (t Target) Big() *big.Int {
+	var buf [32]byte
+	for i, limb := range t {
+		binary.BigEndian.PutUint64(buf[8*i:8*i+8], limb)
+	}
+	return new(big.Int).SetBytes(buf[:])
+}
+
+// IsZero reports whether the target accepts (essentially) nothing.
+func (t Target) IsZero() bool {
+	return t == Target{}
+}
+
+// BelowTarget returns whether the digest, read as a 256-bit big-endian
+// integer, is at or below the target — the comparison used by both the PoW
+// puzzle and the role lottery H(r+1 ‖ R ‖ PK ‖ role) ≤ d(role). It is a
+// four-limb compare with no allocation.
+func (d Digest) BelowTarget(t Target) bool {
+	for i := 0; i < 4; i++ {
+		limb := binary.BigEndian.Uint64(d[8*i : 8*i+8])
+		if limb < t[i] {
+			return true
+		}
+		if limb > t[i] {
+			return false
+		}
+	}
+	return true // equal
 }
 
 // Below returns whether the digest, read as a 256-bit big-endian integer,
-// is at or below the target. This is the comparison used by both the PoW
-// puzzle and the role lottery H(r+1 ‖ R ‖ PK ‖ role) ≤ d(role).
+// is at or below the target. This is the math/big reference form of
+// BelowTarget, kept as an oracle; hot paths use BelowTarget.
 func (d Digest) Below(target *big.Int) bool {
 	x := new(big.Int).SetBytes(d[:])
 	return x.Cmp(target) <= 0
@@ -88,10 +265,45 @@ func MaxDigestInt() *big.Int {
 	return max.Sub(max, one)
 }
 
+// FractionTargetLimbs returns a target t such that a uniformly random
+// digest satisfies d.BelowTarget(t) with probability num/den — the limb
+// form of FractionTarget, computed by 320-bit long division (bits.Div64)
+// with no math/big. Fractions ≥ 1 saturate to MaxTarget (accept all), so
+// callers can pass FractionTargetLimbs(1, 1) for a trivial puzzle.
+func FractionTargetLimbs(num, den uint64) Target {
+	if den == 0 {
+		panic("crypto: FractionTarget with zero denominator")
+	}
+	if num == 0 {
+		return Target{}
+	}
+	if num >= den {
+		// floor(2^256·num/den) − 1 ≥ 2^256 − 1: every digest passes.
+		return MaxTarget
+	}
+	// Long-divide the 320-bit value num·2^256 (limbs [num,0,0,0,0]) by den.
+	// num < den keeps the quotient within 256 bits.
+	var t Target
+	rem := num
+	for i := range t {
+		t[i], rem = bits.Div64(rem, 0, den)
+	}
+	// Subtract 1 (t > 0 here: num ≥ 1 guarantees a nonzero quotient) so the
+	// acceptance probability is exactly num/den, matching FractionTarget.
+	for i := 3; i >= 0; i-- {
+		t[i]--
+		if t[i] != ^uint64(0) {
+			break // no borrow
+		}
+	}
+	return t
+}
+
 // FractionTarget returns a target t such that a uniformly random digest
 // satisfies d ≤ t with probability num/den. It is used to build difficulty
 // functions d(role) for the role lottery: to select an expected k winners
-// from p candidates, use FractionTarget(k, p).
+// from p candidates, use FractionTarget(k, p). This is the math/big
+// reference form; hot paths use FractionTargetLimbs.
 func FractionTarget(num, den uint64) *big.Int {
 	if den == 0 {
 		panic("crypto: FractionTarget with zero denominator")

@@ -131,3 +131,129 @@ func TestMaxDigestInt(t *testing.T) {
 		t.Fatalf("MaxDigestInt = %v", max)
 	}
 }
+
+func TestFractionTargetLimbsMatchesBigInt(t *testing.T) {
+	// The limb-form long division must agree with the math/big reference on
+	// every fraction, including the saturating num >= den cases.
+	cases := []struct{ num, den uint64 }{
+		{0, 1}, {1, 1}, {1, 2}, {1, 3}, {2, 3}, {1, 8}, {1, 4096},
+		{3, 7}, {999, 1000}, {1, ^uint64(0)}, {^uint64(0) - 1, ^uint64(0)},
+		{5, 2}, {^uint64(0), 1}, // >= 1: saturate to MaxTarget
+	}
+	for _, c := range cases {
+		got := FractionTargetLimbs(c.num, c.den)
+		want := TargetFromBig(FractionTarget(c.num, c.den))
+		if got != want {
+			t.Errorf("FractionTargetLimbs(%d,%d) = %v, want %v", c.num, c.den, got, want)
+		}
+	}
+}
+
+func TestBelowTargetMatchesBigInt(t *testing.T) {
+	// BelowTarget must agree with the big.Int comparison for random digests
+	// against random targets, and on the exact-equality boundary.
+	f := func(s string, num, den uint64) bool {
+		if den == 0 {
+			den = 1
+		}
+		num %= den + 1
+		d := HString(s)
+		tl := FractionTargetLimbs(num, den)
+		return d.BelowTarget(tl) == d.Below(tl.Big())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	d := HString("boundary")
+	if !d.BelowTarget(TargetFromBig(new(big.Int).SetBytes(d[:]))) {
+		t.Fatal("digest not at-or-below its own value")
+	}
+	one := new(big.Int).SetBytes(d[:])
+	one.Sub(one, big.NewInt(1))
+	if d.BelowTarget(TargetFromBig(one)) {
+		t.Fatal("digest below a target one less than itself")
+	}
+}
+
+func TestTargetBigRoundTrip(t *testing.T) {
+	for _, tt := range []Target{{}, MaxTarget, {0, 1, 2, 3}, {1 << 63, 0, ^uint64(0), 7}} {
+		if got := TargetFromBig(tt.Big()); got != tt {
+			t.Fatalf("round trip %v -> %v", tt, got)
+		}
+	}
+	if !TargetFromBig(big.NewInt(-5)).IsZero() {
+		t.Fatal("negative big.Int did not collapse to zero target")
+	}
+	huge := new(big.Int).Lsh(big.NewInt(1), 300)
+	if TargetFromBig(huge) != MaxTarget {
+		t.Fatal("over-width big.Int did not saturate to MaxTarget")
+	}
+}
+
+func TestHKeyedMatchesH(t *testing.T) {
+	key := []byte("signer-pk")
+	parts := [][]byte{[]byte("a"), nil, []byte("bc")}
+	if HKeyed(key, parts...) != H(append([][]byte{key}, parts...)...) {
+		t.Fatal("HKeyed disagrees with H")
+	}
+	if HKeyed(key) != H(key) {
+		t.Fatal("HKeyed with no parts disagrees with H")
+	}
+}
+
+func TestAppendHVariants(t *testing.T) {
+	parts := [][]byte{[]byte("x"), []byte("y")}
+	d := H(parts...)
+	buf := AppendH([]byte("prefix-"), parts...)
+	if string(buf[:7]) != "prefix-" || string(buf[7:]) != string(d[:]) {
+		t.Fatal("AppendH did not append the digest after the prefix")
+	}
+	key := []byte("k")
+	dk := HKeyed(key, parts...)
+	got := AppendHKeyed(make([]byte, 0, HashSize), key, parts...)
+	if string(got) != string(dk[:]) {
+		t.Fatal("AppendHKeyed disagrees with HKeyed")
+	}
+	// Appending into a buffer with spare capacity must not allocate.
+	scratch := make([]byte, 0, HashSize)
+	allocs := testing.AllocsPerRun(100, func() {
+		scratch = AppendH(scratch[:0], parts[0])
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendH into a sized buffer allocated %.1f times per run", allocs)
+	}
+}
+
+func TestModAndBelowTargetAllocFree(t *testing.T) {
+	d := HString("alloc-check")
+	target := FractionTargetLimbs(1, 3)
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = d.Mod(97)
+		_ = d.BelowTarget(target)
+	})
+	if allocs != 0 {
+		t.Fatalf("limb arithmetic allocated %.1f times per run", allocs)
+	}
+}
+
+func TestPrefixHasherMatchesH(t *testing.T) {
+	prefix := [][]byte{[]byte("tag"), []byte("round"), []byte("randomness-32-bytes-ish")}
+	ph, err := NewPrefixHasher(prefix...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		tail := []byte{byte(i), byte(i >> 4), 0xAA}[:1+i%3]
+		want := H(append(append([][]byte{}, prefix...), tail)...)
+		if got := ph.SumWith(tail); got != want {
+			t.Fatalf("SumWith(%x) disagrees with one-shot H", tail)
+		}
+	}
+	// Steady-state SumWith must not allocate.
+	tail := []byte("12345678")
+	ph.SumWith(tail)
+	allocs := testing.AllocsPerRun(100, func() { ph.SumWith(tail) })
+	if allocs != 0 {
+		t.Fatalf("SumWith allocated %.1f times per run", allocs)
+	}
+}

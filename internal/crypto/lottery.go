@@ -2,7 +2,6 @@ package crypto
 
 import (
 	"encoding/binary"
-	"math/big"
 )
 
 // Role strings for the lottery, per §IV-F of the paper.
@@ -24,9 +23,11 @@ func LotteryTicket(nextRound uint64, randomness Digest, pk PublicKey, role strin
 }
 
 // LotteryWins reports whether the node wins the role lottery at the given
-// difficulty target.
-func LotteryWins(nextRound uint64, randomness Digest, pk PublicKey, role string, target *big.Int) bool {
-	return LotteryTicket(nextRound, randomness, pk, role).Below(target)
+// difficulty target. The target is limb-form (see FractionTargetLimbs) and
+// should be computed once per round, not per candidate: the per-candidate
+// work is then one hash and one four-limb compare, with no allocation.
+func LotteryWins(nextRound uint64, randomness Digest, pk PublicKey, role string, target Target) bool {
+	return LotteryTicket(nextRound, randomness, pk, role).BelowTarget(target)
 }
 
 // PartialSetCommittee maps a winning partial-set ticket to the committee the

@@ -27,7 +27,7 @@ func TestLotteryExpectedWinners(t *testing.T) {
 	// Selecting an expected 100 winners from 1000 candidates should land
 	// within a loose binomial window.
 	const pop, want = 1000, 100
-	target := FractionTarget(want, pop)
+	target := FractionTargetLimbs(want, pop)
 	rng := rand.New(rand.NewSource(3))
 	r := HString("seed")
 	winners := 0

@@ -10,8 +10,8 @@ package ledger
 
 import (
 	"encoding/binary"
-	"fmt"
-	"sort"
+	"encoding/hex"
+	"strconv"
 
 	"cycledger/internal/crypto"
 )
@@ -25,9 +25,15 @@ type OutPoint struct {
 	Index uint32
 }
 
-// String renders the outpoint for diagnostics.
+// String renders the outpoint for diagnostics: 8 hex digits of the
+// transaction hash, a colon, and the output index. Built with strconv/hex
+// appends — outpoints surface in hot-path error strings, so no fmt.
 func (o OutPoint) String() string {
-	return fmt.Sprintf("%x:%d", o.Tx[:4], o.Index)
+	var buf [8 + 1 + 10]byte
+	hex.Encode(buf[:8], o.Tx[:4])
+	buf[8] = ':'
+	out := strconv.AppendUint(buf[:9], uint64(o.Index), 10)
+	return string(out)
 }
 
 // Output is a spendable coin: an amount locked to a user.
@@ -38,44 +44,75 @@ type Output struct {
 
 // Tx is a transfer: it consumes the UTXOs named by Inputs and creates
 // Outputs. Fee is implicit: sum(inputs) - sum(outputs).
+//
+// ID() is memoized: the first call hashes the canonical encoding and caches
+// the result, so the many downstream ID consumers (routing, payload
+// digests, block assembly, ledger apply) share one hash. The cache imposes
+// a copy-on-mutate discipline — see ID.
 type Tx struct {
 	Inputs  []OutPoint
 	Outputs []Output
 	// Nonce distinguishes otherwise-identical transactions (e.g. two
 	// equal payments between the same parties in one round).
 	Nonce uint64
+
+	// id memoizes ID(). idSet is not synchronised: the workload generator
+	// computes the ID once at creation, before a transaction is shared with
+	// the engine, after which concurrent readers only ever see the settled
+	// cache (see the interning/caching invariants note in ARCHITECTURE.md).
+	id    TxID
+	idSet bool
 }
 
-// encode produces the canonical byte encoding used for hashing.
+// encodedSize returns the exact length of the canonical encoding, so
+// encode can fill a single right-sized allocation.
+func (tx *Tx) encodedSize() int {
+	n := 8 + 4 + len(tx.Inputs)*(crypto.HashSize+4) + 4
+	for _, out := range tx.Outputs {
+		n += 4 + len(out.Owner) + 8
+	}
+	return n
+}
+
+// encode produces the canonical byte encoding used for hashing, written
+// into one exact-size buffer.
 func (tx *Tx) encode() []byte {
-	var buf []byte
-	var u64 [8]byte
-	var u32 [4]byte
-	binary.BigEndian.PutUint64(u64[:], tx.Nonce)
-	buf = append(buf, u64[:]...)
-	binary.BigEndian.PutUint32(u32[:], uint32(len(tx.Inputs)))
-	buf = append(buf, u32[:]...)
+	buf := make([]byte, 0, tx.encodedSize())
+	buf = binary.BigEndian.AppendUint64(buf, tx.Nonce)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(tx.Inputs)))
 	for _, in := range tx.Inputs {
 		buf = append(buf, in.Tx[:]...)
-		binary.BigEndian.PutUint32(u32[:], in.Index)
-		buf = append(buf, u32[:]...)
+		buf = binary.BigEndian.AppendUint32(buf, in.Index)
 	}
-	binary.BigEndian.PutUint32(u32[:], uint32(len(tx.Outputs)))
-	buf = append(buf, u32[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(tx.Outputs)))
 	for _, out := range tx.Outputs {
-		binary.BigEndian.PutUint32(u32[:], uint32(len(out.Owner)))
-		buf = append(buf, u32[:]...)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(out.Owner)))
 		buf = append(buf, out.Owner...)
-		binary.BigEndian.PutUint64(u64[:], out.Amount)
-		buf = append(buf, u64[:]...)
+		buf = binary.BigEndian.AppendUint64(buf, out.Amount)
 	}
 	return buf
 }
 
-// ID returns the transaction hash.
+// ID returns the transaction hash, computing and caching it on first call.
+//
+// Invariant (copy-on-mutate): a Tx must not be mutated after its ID has
+// been computed — the cache would go stale and the transaction would travel
+// under a hash that no longer matches its content. Code that needs a
+// variant of an existing transaction must build a new Tx (sharing the
+// Inputs/Outputs slices is fine; the cache lives in the struct, not the
+// slices). The first ID call is not goroutine-safe; the workload generator
+// settles the cache at creation time, before a Tx is shared.
 func (tx *Tx) ID() TxID {
-	return crypto.H([]byte("cycledger/tx/v1"), tx.encode())
+	if !tx.idSet {
+		tx.id = crypto.H([]byte("cycledger/tx/v1"), tx.encode())
+		tx.idSet = true
+	}
+	return tx.id
 }
+
+// ResetID clears the memoized hash after a deliberate in-place mutation
+// (test fixtures; production code follows copy-on-mutate instead).
+func (tx *Tx) ResetID() { tx.idSet = false }
 
 // OutputSum returns the total value created by the transaction.
 func (tx *Tx) OutputSum() uint64 {
@@ -86,55 +123,126 @@ func (tx *Tx) OutputSum() uint64 {
 	return s
 }
 
-// ShardOf maps a user identity to its shard in [0, m).
+// shardDomain is the domain-separation tag of the user→shard map.
+const shardDomain = "cycledger/shard/v1"
+
+// ShardOf maps a user identity to its shard in [0, m). The per-user digest
+// is interned (see shardcache.go) and the reduction is limb arithmetic, so
+// after a user's first touch the call is a cache hit plus four integer
+// divisions — no hashing, no allocation.
 func ShardOf(user string, m uint64) uint64 {
-	return crypto.HString("cycledger/shard/v1", user).Mod(m)
+	return ownerDigest(user).Mod(m)
+}
+
+// insertShard inserts s into a small sorted set kept in a slice, returning
+// the (possibly extended) slice. Transaction shard sets have at most a
+// handful of members (bounded by MaxTxArity, typically 1-3), so insertion
+// into a stack-friendly slice beats a map + sort by orders of magnitude on
+// the routing hot path.
+func insertShard(set []uint64, s uint64) []uint64 {
+	i := 0
+	for i < len(set) && set[i] < s {
+		i++
+	}
+	if i < len(set) && set[i] == s {
+		return set
+	}
+	set = append(set, 0)
+	copy(set[i+1:], set[i:])
+	set[i] = s
+	return set
+}
+
+// ShardScratch carries reusable shard-set buffers so per-transaction
+// routing can run without steady-state allocation: Compute rewrites the
+// three sets in place, reusing slice capacity across calls. The zero value
+// is ready to use.
+type ShardScratch struct {
+	// In is the sorted set of shards referenced by resolvable inputs.
+	In []uint64
+	// Out is the sorted set of shards receiving outputs.
+	Out []uint64
+	// Touched is the sorted union of In and Out.
+	Touched []uint64
+}
+
+// Compute fills the scratch with the transaction's input, output, and
+// union shard sets in one pass over the inputs and outputs — the combined
+// form of InputShards/OutputShards/TouchedShards that the router consumes.
+// Unknown inputs are skipped (validation rejects them separately). The
+// returned sets alias the scratch and are valid until the next Compute.
+func (sc *ShardScratch) Compute(tx *Tx, view UTXOView, m uint64) {
+	sc.In, sc.Out, sc.Touched = sc.In[:0], sc.Out[:0], sc.Touched[:0]
+	for _, in := range tx.Inputs {
+		if out, ok := view.Get(in); ok {
+			s := ShardOf(out.Owner, m)
+			sc.In = insertShard(sc.In, s)
+			sc.Touched = insertShard(sc.Touched, s)
+		}
+	}
+	for _, o := range tx.Outputs {
+		s := ShardOf(o.Owner, m)
+		sc.Out = insertShard(sc.Out, s)
+		sc.Touched = insertShard(sc.Touched, s)
+	}
 }
 
 // InputShards returns the sorted set of shards referenced by the
 // transaction's inputs, given the owners recorded in the UTXO view.
 // Unknown inputs are skipped (validation will reject them separately).
+// The public shard-set functions are thin copies over the one
+// ShardScratch.Compute implementation, so classification logic lives in
+// exactly one place; hot paths use a reused scratch directly.
 func InputShards(tx *Tx, view UTXOView, m uint64) []uint64 {
-	set := map[uint64]bool{}
-	for _, in := range tx.Inputs {
-		if out, ok := view.Get(in); ok {
-			set[ShardOf(out.Owner, m)] = true
-		}
-	}
-	return sortedShardSet(set)
+	var sc ShardScratch
+	sc.Compute(tx, view, m)
+	return append([]uint64{}, sc.In...)
 }
 
 // OutputShards returns the sorted set of shards receiving outputs.
 func OutputShards(tx *Tx, m uint64) []uint64 {
-	set := map[uint64]bool{}
-	for _, o := range tx.Outputs {
-		set[ShardOf(o.Owner, m)] = true
-	}
-	return sortedShardSet(set)
+	var sc ShardScratch
+	sc.Compute(tx, emptyView{}, m)
+	return append([]uint64{}, sc.Out...)
 }
 
 // TouchedShards returns the union of input and output shards.
 func TouchedShards(tx *Tx, view UTXOView, m uint64) []uint64 {
-	set := map[uint64]bool{}
-	for _, s := range InputShards(tx, view, m) {
-		set[s] = true
-	}
-	for _, s := range OutputShards(tx, m) {
-		set[s] = true
-	}
-	return sortedShardSet(set)
+	var sc ShardScratch
+	sc.Compute(tx, view, m)
+	return append([]uint64{}, sc.Touched...)
 }
+
+// emptyView resolves nothing; OutputShards needs no input owners.
+type emptyView struct{}
+
+// Get implements UTXOView.
+func (emptyView) Get(OutPoint) (Output, bool) { return Output{}, false }
 
 // IsCrossShard reports whether the transaction touches more than one shard.
+// It exits on the second distinct shard without materialising any set, so
+// the per-candidate check during block assembly is allocation-free.
 func IsCrossShard(tx *Tx, view UTXOView, m uint64) bool {
-	return len(TouchedShards(tx, view, m)) > 1
-}
-
-func sortedShardSet(set map[uint64]bool) []uint64 {
-	out := make([]uint64, 0, len(set))
-	for s := range set {
-		out = append(out, s)
+	var first uint64
+	seen := false
+	note := func(s uint64) bool {
+		if !seen {
+			first, seen = s, true
+			return false
+		}
+		return s != first
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	for _, in := range tx.Inputs {
+		if out, ok := view.Get(in); ok {
+			if note(ShardOf(out.Owner, m)) {
+				return true
+			}
+		}
+	}
+	for _, o := range tx.Outputs {
+		if note(ShardOf(o.Owner, m)) {
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,272 @@
+package ledger
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cycledger/internal/crypto"
+)
+
+// --- reference oracles -----------------------------------------------------
+//
+// The pre-optimization map-based shard-set implementations, kept verbatim
+// as cross-check oracles for the slice-based hot-path versions, and a
+// from-scratch transaction-hash recompute for the Tx.ID memoization.
+
+func oracleShardOf(user string, m uint64) uint64 {
+	return crypto.HString("cycledger/shard/v1", user).Mod(m)
+}
+
+func oracleSortedShardSet(set map[uint64]bool) []uint64 {
+	out := make([]uint64, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func oracleInputShards(tx *Tx, view UTXOView, m uint64) []uint64 {
+	set := map[uint64]bool{}
+	for _, in := range tx.Inputs {
+		if out, ok := view.Get(in); ok {
+			set[oracleShardOf(out.Owner, m)] = true
+		}
+	}
+	return oracleSortedShardSet(set)
+}
+
+func oracleOutputShards(tx *Tx, m uint64) []uint64 {
+	set := map[uint64]bool{}
+	for _, o := range tx.Outputs {
+		set[oracleShardOf(o.Owner, m)] = true
+	}
+	return oracleSortedShardSet(set)
+}
+
+func oracleTouchedShards(tx *Tx, view UTXOView, m uint64) []uint64 {
+	set := map[uint64]bool{}
+	for _, s := range oracleInputShards(tx, view, m) {
+		set[s] = true
+	}
+	for _, s := range oracleOutputShards(tx, m) {
+		set[s] = true
+	}
+	return oracleSortedShardSet(set)
+}
+
+// oracleTxID recomputes the transaction hash from scratch, bypassing the
+// memo, using an independently written canonical encoder.
+func oracleTxID(tx *Tx) TxID {
+	var buf []byte
+	var u64b [8]byte
+	var u32b [4]byte
+	put64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			u64b[i] = byte(v >> (56 - 8*i))
+		}
+		buf = append(buf, u64b[:]...)
+	}
+	put32 := func(v uint32) {
+		for i := 0; i < 4; i++ {
+			u32b[i] = byte(v >> (24 - 8*i))
+		}
+		buf = append(buf, u32b[:]...)
+	}
+	put64(tx.Nonce)
+	put32(uint32(len(tx.Inputs)))
+	for _, in := range tx.Inputs {
+		buf = append(buf, in.Tx[:]...)
+		put32(in.Index)
+	}
+	put32(uint32(len(tx.Outputs)))
+	for _, out := range tx.Outputs {
+		put32(uint32(len(out.Owner)))
+		buf = append(buf, out.Owner...)
+		put64(out.Amount)
+	}
+	return crypto.H([]byte("cycledger/tx/v1"), buf)
+}
+
+// --- randomized cross-checks ----------------------------------------------
+
+// randomTxAndView builds a transaction with a random mix of resolvable,
+// unresolvable, and duplicate-shard inputs/outputs plus a view resolving a
+// random subset of the inputs.
+func randomTxAndView(rng *rand.Rand) (*Tx, *UTXOSet) {
+	view := NewUTXOSet()
+	tx := &Tx{Nonce: rng.Uint64()}
+	nIn := rng.Intn(6)
+	for i := 0; i < nIn; i++ {
+		var op OutPoint
+		rng.Read(op.Tx[:])
+		op.Index = uint32(rng.Intn(4))
+		tx.Inputs = append(tx.Inputs, op)
+		if rng.Intn(3) > 0 { // ~2/3 of inputs resolve
+			owner := fmt.Sprintf("user-%03d", rng.Intn(40))
+			if err := view.Add(op, Output{Owner: owner, Amount: 1 + rng.Uint64()%1000}); err != nil {
+				panic(err)
+			}
+		}
+	}
+	nOut := 1 + rng.Intn(5)
+	for i := 0; i < nOut; i++ {
+		tx.Outputs = append(tx.Outputs, Output{
+			Owner:  fmt.Sprintf("user-%03d", rng.Intn(40)),
+			Amount: 1 + rng.Uint64()%1000,
+		})
+	}
+	return tx, view
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardSetsMatchMapOracle drives the slice-based shard-set functions,
+// the combined ShardScratch pass, and IsCrossShard against the old
+// map-based implementations on randomized transactions.
+func TestShardSetsMatchMapOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var sc ShardScratch
+	for trial := 0; trial < 500; trial++ {
+		tx, view := randomTxAndView(rng)
+		m := uint64(1 + rng.Intn(16))
+
+		wantIn := oracleInputShards(tx, view, m)
+		wantOut := oracleOutputShards(tx, m)
+		wantTouched := oracleTouchedShards(tx, view, m)
+
+		if got := InputShards(tx, view, m); !equalU64(got, wantIn) {
+			t.Fatalf("trial %d: InputShards = %v, oracle %v", trial, got, wantIn)
+		}
+		if got := OutputShards(tx, m); !equalU64(got, wantOut) {
+			t.Fatalf("trial %d: OutputShards = %v, oracle %v", trial, got, wantOut)
+		}
+		if got := TouchedShards(tx, view, m); !equalU64(got, wantTouched) {
+			t.Fatalf("trial %d: TouchedShards = %v, oracle %v", trial, got, wantTouched)
+		}
+		sc.Compute(tx, view, m)
+		if !equalU64(sc.In, wantIn) || !equalU64(sc.Out, wantOut) || !equalU64(sc.Touched, wantTouched) {
+			t.Fatalf("trial %d: ShardScratch = (%v,%v,%v), oracle (%v,%v,%v)",
+				trial, sc.In, sc.Out, sc.Touched, wantIn, wantOut, wantTouched)
+		}
+		if got, want := IsCrossShard(tx, view, m), len(wantTouched) > 1; got != want {
+			t.Fatalf("trial %d: IsCrossShard = %v, oracle %v (touched %v)", trial, got, want, wantTouched)
+		}
+	}
+}
+
+// TestShardOfMatchesOracle checks the interned digest path against a direct
+// hash for fresh and repeated identities across shard counts.
+func TestShardOfMatchesOracle(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		user := fmt.Sprintf("intern-check-%d", i)
+		for _, m := range []uint64{1, 2, 7, 8, 64, 1 << 20} {
+			if got, want := ShardOf(user, m), oracleShardOf(user, m); got != want {
+				t.Fatalf("ShardOf(%q, %d) = %d, oracle %d", user, m, got, want)
+			}
+		}
+		// Second lookup (cache hit) must agree too.
+		if ShardOf(user, 8) != oracleShardOf(user, 8) {
+			t.Fatalf("cache hit diverged for %q", user)
+		}
+	}
+}
+
+// TestTxIDCacheMatchesRecompute exercises the memoized ID across the
+// mutation patterns the copy-on-mutate invariant allows: build-then-hash,
+// mutate-before-first-ID, copy-on-mutate, and explicit ResetID.
+func TestTxIDCacheMatchesRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		tx, _ := randomTxAndView(rng)
+
+		// Mutating before the first ID call is allowed: the cache settles at
+		// first use.
+		tx.Outputs = append(tx.Outputs, Output{Owner: "late-change", Amount: 5})
+		first := tx.ID()
+		if first != oracleTxID(tx) {
+			t.Fatalf("trial %d: cached ID disagrees with from-scratch recompute", trial)
+		}
+		// Repeated calls return the settled cache.
+		if tx.ID() != first {
+			t.Fatalf("trial %d: repeated ID changed", trial)
+		}
+
+		// Copy-on-mutate: a derived transaction gets its own (fresh) cache,
+		// even though it shares the input/output slices.
+		derived := &Tx{Inputs: tx.Inputs, Outputs: tx.Outputs, Nonce: tx.Nonce + 1}
+		if derived.ID() == first {
+			t.Fatalf("trial %d: derived tx reused the parent hash", trial)
+		}
+		if derived.ID() != oracleTxID(derived) {
+			t.Fatalf("trial %d: derived ID disagrees with recompute", trial)
+		}
+
+		// Deliberate in-place mutation must go through ResetID.
+		tx.Nonce++
+		tx.ResetID()
+		if tx.ID() != oracleTxID(tx) {
+			t.Fatalf("trial %d: post-ResetID ID disagrees with recompute", trial)
+		}
+	}
+}
+
+// TestOutPointString pins the diagnostic format after the fmt→strconv/hex
+// rewrite.
+func TestOutPointString(t *testing.T) {
+	var op OutPoint
+	op.Tx[0], op.Tx[1], op.Tx[2], op.Tx[3] = 0xde, 0xad, 0xbe, 0xef
+	op.Index = 7
+	if got := op.String(); got != "deadbeef:7" {
+		t.Fatalf("OutPoint.String() = %q, want %q", got, "deadbeef:7")
+	}
+	op.Index = 4294967295
+	if got := op.String(); got != "deadbeef:4294967295" {
+		t.Fatalf("OutPoint.String() = %q, want %q", got, "deadbeef:4294967295")
+	}
+}
+
+// BenchmarkTouchedShards tracks the routing classifier's per-transaction
+// cost (the scratch variant is the one the engine uses).
+func BenchmarkTouchedShards(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tx, view := randomTxAndView(rng)
+	var sc ShardScratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Compute(tx, view, 8)
+	}
+}
+
+// BenchmarkTxID tracks the memoized hash (cache hit) against a cold hash.
+func BenchmarkTxID(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	tx, _ := randomTxAndView(rng)
+	b.Run("cached", func(b *testing.B) {
+		tx.ID()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = tx.ID()
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tx.ResetID()
+			_ = tx.ID()
+		}
+	})
+}

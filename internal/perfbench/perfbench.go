@@ -1,0 +1,217 @@
+// Package perfbench turns `go test -bench` text output into a structured,
+// JSON-serialisable benchmark document, so the repo can commit measured
+// performance trajectories (BENCH_round.json) and CI can archive them as
+// artifacts. It parses the standard benchmark line format — name, iteration
+// count, then (value, unit) pairs including -benchmem's B/op and allocs/op
+// and any b.ReportMetric units — plus the goos/goarch/pkg/cpu header lines,
+// and can fold a baseline document in to produce per-benchmark deltas.
+package perfbench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with any -N GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iterations is the measured iteration count (b.N).
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline ns/op.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is -benchmem's B/op (0 when -benchmem was off).
+	BytesPerOp float64 `json:"bytes_per_op"`
+	// AllocsPerOp is -benchmem's allocs/op (0 when -benchmem was off).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics carries every other unit on the line (b.ReportMetric values
+	// such as "tx/round", "ticks/round", "tx/tick").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Header is the environment block go test prints before benchmark lines.
+type Header struct {
+	// GoOS is the "goos:" line.
+	GoOS string `json:"goos,omitempty"`
+	// GoArch is the "goarch:" line.
+	GoArch string `json:"goarch,omitempty"`
+	// Pkg is the "pkg:" line.
+	Pkg string `json:"pkg,omitempty"`
+	// CPU is the "cpu:" line.
+	CPU string `json:"cpu,omitempty"`
+}
+
+// Delta is the relative change of a headline quantity versus a baseline,
+// in percent (negative = improvement for cost metrics).
+type Delta struct {
+	// NsPerOpPct is the ns/op change in percent.
+	NsPerOpPct float64 `json:"ns_per_op_pct"`
+	// BytesPerOpPct is the B/op change in percent.
+	BytesPerOpPct float64 `json:"bytes_per_op_pct"`
+	// AllocsPerOpPct is the allocs/op change in percent.
+	AllocsPerOpPct float64 `json:"allocs_per_op_pct"`
+}
+
+// Entry is one benchmark in a Document: the current measurement, plus the
+// matching baseline measurement and deltas when a baseline was supplied.
+type Entry struct {
+	Result
+	// Baseline is the same-named result from the baseline document.
+	Baseline *Result `json:"baseline,omitempty"`
+	// Delta compares Result against Baseline.
+	Delta *Delta `json:"delta,omitempty"`
+}
+
+// Document is the committed/archived benchmark artifact.
+type Document struct {
+	Header
+	// Command records how the measurements were taken.
+	Command string `json:"command,omitempty"`
+	// GeneratedAt is an RFC 3339 timestamp (filled by the runner).
+	GeneratedAt string `json:"generated_at,omitempty"`
+	// Note is free-form context (e.g. which PR set the baseline).
+	Note string `json:"note,omitempty"`
+	// Benchmarks lists entries sorted by name.
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// ParseLine parses one "BenchmarkX-8  N  v unit  v unit ..." line. The
+// second return is false for non-benchmark lines (headers, PASS/ok, blank).
+func ParseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	name := fields[0]
+	// Strip the -N GOMAXPROCS suffix go test appends to parallel names.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	res := Result{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = val
+		case "B/op":
+			res.BytesPerOp = val
+		case "allocs/op":
+			res.AllocsPerOp = val
+		default:
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = val
+		}
+	}
+	return res, true
+}
+
+// Parse consumes a full `go test -bench` transcript, returning the header
+// block and every benchmark line in order of appearance. Repeated runs of
+// the same benchmark (-count > 1) keep the last measurement.
+func Parse(r io.Reader) (Header, []Result, error) {
+	var hdr Header
+	var out []Result
+	index := make(map[string]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			hdr.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			hdr.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			hdr.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			hdr.CPU = strings.TrimPrefix(line, "cpu: ")
+		default:
+			if res, ok := ParseLine(line); ok {
+				if i, dup := index[res.Name]; dup {
+					out[i] = res
+				} else {
+					index[res.Name] = len(out)
+					out = append(out, res)
+				}
+			}
+		}
+	}
+	return hdr, out, sc.Err()
+}
+
+// NewDocument assembles a document from parsed results, sorted by name for
+// stable diffs.
+func NewDocument(hdr Header, results []Result) Document {
+	entries := make([]Entry, len(results))
+	for i, r := range results {
+		entries[i] = Entry{Result: r}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return Document{Header: hdr, Benchmarks: entries}
+}
+
+// pct returns the relative change new vs old in percent; 0 when the
+// baseline is zero (no meaningful ratio).
+func pct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+// ApplyBaseline attaches same-named results from base to the document's
+// entries and computes deltas. Entries without a baseline counterpart are
+// left bare; baseline-only benchmarks are ignored.
+func (d *Document) ApplyBaseline(base Document) {
+	byName := make(map[string]Result, len(base.Benchmarks))
+	for _, e := range base.Benchmarks {
+		byName[e.Name] = e.Result
+	}
+	for i := range d.Benchmarks {
+		b, ok := byName[d.Benchmarks[i].Name]
+		if !ok {
+			continue
+		}
+		bb := b
+		d.Benchmarks[i].Baseline = &bb
+		d.Benchmarks[i].Delta = &Delta{
+			NsPerOpPct:     pct(b.NsPerOp, d.Benchmarks[i].NsPerOp),
+			BytesPerOpPct:  pct(b.BytesPerOp, d.Benchmarks[i].BytesPerOp),
+			AllocsPerOpPct: pct(b.AllocsPerOp, d.Benchmarks[i].AllocsPerOp),
+		}
+	}
+}
+
+// WriteJSON writes the document with stable formatting (two-space indent,
+// trailing newline) so committed artifacts diff cleanly.
+func WriteJSON(w io.Writer, d Document) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// ReadJSON parses a document previously written by WriteJSON.
+func ReadJSON(r io.Reader) (Document, error) {
+	var d Document
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&d); err != nil {
+		return Document{}, fmt.Errorf("perfbench: decoding document: %w", err)
+	}
+	return d, nil
+}

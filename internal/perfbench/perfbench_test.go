@@ -1,0 +1,117 @@
+package perfbench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: cycledger
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRoundHotPath 	       5	 220282637 ns/op	       583.0 ticks/round	        86.80 tx/round	         0.1489 tx/tick	18185625 B/op	  134773 allocs/op
+BenchmarkPipelinedThroughput/m=4/par=1/sequential-8         	       2	 550234434 ns/op	       583.0 ticks/round	        79.00 tx/round	         0.1355 tx/tick	87669756 B/op	 1088970 allocs/op
+PASS
+ok  	cycledger	21.640s
+`
+
+func TestParseLine(t *testing.T) {
+	res, ok := ParseLine("BenchmarkRoundHotPath-16 \t 5\t 220282637 ns/op\t 583.0 ticks/round\t 18185625 B/op\t 134773 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line not recognised")
+	}
+	if res.Name != "BenchmarkRoundHotPath" {
+		t.Fatalf("name %q (GOMAXPROCS suffix not stripped?)", res.Name)
+	}
+	if res.Iterations != 5 || res.NsPerOp != 220282637 || res.BytesPerOp != 18185625 || res.AllocsPerOp != 134773 {
+		t.Fatalf("headline fields misparsed: %+v", res)
+	}
+	if res.Metrics["ticks/round"] != 583.0 {
+		t.Fatalf("custom metric misparsed: %+v", res.Metrics)
+	}
+	for _, junk := range []string{"", "PASS", "ok  \tcycledger\t21.6s", "goos: linux", "Benchmark"} {
+		if _, ok := ParseLine(junk); ok {
+			t.Fatalf("non-benchmark line %q accepted", junk)
+		}
+	}
+	// A subtest name with a numeric-looking tail after '-' must survive:
+	// only a pure trailing integer (the GOMAXPROCS suffix) is stripped.
+	res, ok = ParseLine("BenchmarkX/par=1 2 10 ns/op")
+	if !ok || res.Name != "BenchmarkX/par=1" {
+		t.Fatalf("subtest name mangled: %+v", res)
+	}
+}
+
+func TestParseTranscript(t *testing.T) {
+	hdr, results, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.GoOS != "linux" || hdr.GoArch != "amd64" || hdr.Pkg != "cycledger" || !strings.Contains(hdr.CPU, "Xeon") {
+		t.Fatalf("header misparsed: %+v", hdr)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+	if results[1].Name != "BenchmarkPipelinedThroughput/m=4/par=1/sequential" {
+		t.Fatalf("subtest name: %q", results[1].Name)
+	}
+}
+
+func TestParseKeepsLastOfRepeatedRuns(t *testing.T) {
+	in := "BenchmarkA 1 100 ns/op\nBenchmarkA 1 90 ns/op\n"
+	_, results, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].NsPerOp != 90 {
+		t.Fatalf("repeated run not collapsed to last: %+v", results)
+	}
+}
+
+func TestApplyBaselineAndRoundTrip(t *testing.T) {
+	_, cur, err := Parse(strings.NewReader("BenchmarkA 1 50 ns/op 10 B/op 5 allocs/op\nBenchmarkNew 1 7 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, old, err := Parse(strings.NewReader("BenchmarkA 1 100 ns/op 40 B/op 20 allocs/op\nBenchmarkGone 1 1 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := NewDocument(Header{GoOS: "linux"}, cur)
+	doc.ApplyBaseline(NewDocument(Header{}, old))
+
+	var a *Entry
+	for i := range doc.Benchmarks {
+		if doc.Benchmarks[i].Name == "BenchmarkA" {
+			a = &doc.Benchmarks[i]
+		}
+	}
+	if a == nil || a.Baseline == nil || a.Delta == nil {
+		t.Fatalf("baseline not attached: %+v", doc.Benchmarks)
+	}
+	if a.Delta.NsPerOpPct != -50 || a.Delta.AllocsPerOpPct != -75 || a.Delta.BytesPerOpPct != -75 {
+		t.Fatalf("deltas wrong: %+v", a.Delta)
+	}
+	for _, e := range doc.Benchmarks {
+		if e.Name == "BenchmarkNew" && (e.Baseline != nil || e.Delta != nil) {
+			t.Fatal("entry without baseline counterpart gained one")
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Benchmarks) != len(doc.Benchmarks) || back.GoOS != "linux" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Benchmarks[0].Name > back.Benchmarks[1].Name {
+		t.Fatal("entries not sorted by name")
+	}
+}

@@ -98,3 +98,32 @@ func TestZeroHardnessClamped(t *testing.T) {
 		t.Fatal("hardness 0 should behave as trivial puzzle")
 	}
 }
+
+func TestSolveMidstateMatchesOneShot(t *testing.T) {
+	// The midstate-resumed search must find exactly the nonce the one-shot
+	// digest path accepts, for several keys and hardness settings.
+	rng := rand.New(rand.NewSource(99))
+	for _, hardness := range []uint64{1, 2, 64, 1 << 12} {
+		p := NewPuzzle(5, crypto.HString("midstate"), hardness)
+		for k := 0; k < 5; k++ {
+			kp := crypto.GenerateKeyPair(rng)
+			sol, attempts, err := Solve(p, kp.PK, uint64(k)<<32, 1<<20)
+			if err != nil {
+				t.Fatalf("hardness %d: %v", hardness, err)
+			}
+			// The accepted nonce verifies through the one-shot path...
+			if !Verify(p, sol) {
+				t.Fatalf("hardness %d: midstate solution fails one-shot Verify", hardness)
+			}
+			// ...and no earlier nonce would have been accepted by it.
+			for n := uint64(k) << 32; n < sol.Nonce; n++ {
+				if Verify(p, Solution{PK: kp.PK, Nonce: n}) {
+					t.Fatalf("hardness %d: midstate search skipped winning nonce %d", hardness, n)
+				}
+			}
+			if want := sol.Nonce - (uint64(k) << 32) + 1; attempts != want {
+				t.Fatalf("attempts = %d, want %d", attempts, want)
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"sync/atomic"
 
 	"cycledger/internal/chain"
@@ -374,9 +375,22 @@ func (e *Engine) propagateBlock(ctx *simnet.Context, refID simnet.NodeID, blk *B
 	}
 }
 
-// phaseLabel namespaces metrics per round.
+// phaseLabel namespaces metrics per round: "r%03d/<phase>" built with
+// strconv appends (this runs per phase per round and feeds map keys, so it
+// should not drag fmt's reflection into the hot diagnostic path).
 func (e *Engine) phaseLabel(phase string) string {
-	return fmt.Sprintf("r%03d/%s", e.round, phase)
+	buf := make([]byte, 1, 22+len(phase)) // 'r' + up to 20 digits + '/'
+	buf[0] = 'r'
+	if e.round < 100 { // zero-pad to three digits, like %03d
+		buf = append(buf, '0')
+		if e.round < 10 {
+			buf = append(buf, '0')
+		}
+	}
+	buf = strconv.AppendUint(buf, e.round, 10)
+	buf = append(buf, '/')
+	buf = append(buf, phase...)
+	return string(buf)
 }
 
 func (e *Engine) setPhase(phase string) {

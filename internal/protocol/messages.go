@@ -382,6 +382,19 @@ func nodeIDBytes(id simnet.NodeID) []byte {
 	return b[:]
 }
 
+// voteSigMsg is the single signed buffer for a VoteMsg — round ‖ voter ‖
+// votes, all fixed-width, in one exact-size allocation instead of the
+// [][]byte the per-member vote path used to build.
+func voteSigMsg(round uint64, voter simnet.NodeID, votes reputation.VoteVector) []byte {
+	buf := make([]byte, 0, 8+4+len(votes))
+	buf = binary.BigEndian.AppendUint64(buf, round)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(voter))
+	for _, x := range votes {
+		buf = append(buf, byte(x+1))
+	}
+	return buf
+}
+
 func voteBytes(v reputation.VoteVector) []byte {
 	out := make([]byte, len(v))
 	for i, x := range v {

@@ -132,7 +132,7 @@ func (n *Node) onTxList(ctx *simnet.Context, m TxListMsg) {
 	n.txList = &mm
 	votes := n.voteOnTxs(m.Txs)
 	vm := VoteMsg{Round: m.Round, Committee: m.Committee, Attempt: m.Attempt, Voter: n.ID, Votes: votes}
-	vm.Sig = n.eng.P.Scheme.Sign(n.Keys, append([][]byte{u64(m.Round), nodeIDBytes(n.ID)}, voteBytes(votes))...)
+	vm.Sig = n.eng.P.Scheme.Sign(n.Keys, voteSigMsg(m.Round, n.ID, votes))
 	ctx.Send(n.curLeader, TagVote, vm, len(votes)+n.eng.P.Scheme.SigSize())
 }
 

@@ -364,11 +364,31 @@ func (e *Engine) buildNextRoster(next crypto.Digest, participants []simnet.NodeI
 	return r
 }
 
+// sortByTicket orders ids by their lottery tickets. Tickets are computed
+// once per candidate up front — the comparator previously re-hashed both
+// sides on every comparison, turning the O(n log n) sort into O(n log n)
+// SHA-256 evaluations per election.
 func sortByTicket(ids []simnet.NodeID, ticket func(simnet.NodeID) crypto.Digest) {
-	sort.Slice(ids, func(i, j int) bool {
-		a, b := ticket(ids[i]), ticket(ids[j])
-		return bytes.Compare(a[:], b[:]) < 0
-	})
+	keys := make([]crypto.Digest, len(ids))
+	for i, id := range ids {
+		keys[i] = ticket(id)
+	}
+	sort.Sort(&ticketSort{ids: ids, keys: keys})
+}
+
+// ticketSort co-sorts node IDs with their precomputed tickets.
+type ticketSort struct {
+	ids  []simnet.NodeID
+	keys []crypto.Digest
+}
+
+func (t *ticketSort) Len() int { return len(t.ids) }
+func (t *ticketSort) Less(i, j int) bool {
+	return bytes.Compare(t.keys[i][:], t.keys[j][:]) < 0
+}
+func (t *ticketSort) Swap(i, j int) {
+	t.ids[i], t.ids[j] = t.ids[j], t.ids[i]
+	t.keys[i], t.keys[j] = t.keys[j], t.keys[i]
 }
 
 // ---------------------------------------------------------------------------

@@ -44,29 +44,34 @@ func (e *Engine) stageWorkload() {
 // view (§IV-C/D): intra-shard transactions go to their home committee's
 // list, unresolvable-input transactions are offered to their first output
 // shard (where they will be voted No), and cross-shard transactions are
-// filed under (first input shard → first other touched shard).
+// filed under (first input shard → first other touched shard). The input,
+// output, and union shard sets come from one combined ShardScratch pass
+// per transaction (interned owner digests, slice-based sets, buffers
+// reused across the batch) instead of the three separate map-building
+// calls this loop used to make.
 func (e *Engine) routeBatch(batch []*ledger.Tx) *routedWork {
 	w := &routedWork{
 		offered: batch,
 		intra:   make(map[uint64][]*ledger.Tx),
 		cross:   make(map[uint64]map[uint64][]*ledger.Tx),
 	}
+	var sc ledger.ShardScratch
 	for _, tx := range batch {
-		shards := ledger.TouchedShards(tx, e.utxo, e.roster.M)
+		sc.Compute(tx, e.utxo, e.roster.M)
+		shards := sc.Touched
 		switch {
 		case len(shards) <= 1:
 			k := uint64(0)
 			if len(shards) == 1 {
 				k = shards[0]
-			} else if outs := ledger.OutputShards(tx, e.roster.M); len(outs) > 0 {
-				k = outs[0] // unresolvable inputs: offered to the output shard, voted No
+			} else if len(sc.Out) > 0 {
+				k = sc.Out[0] // unresolvable inputs: offered to the output shard, voted No
 			}
 			w.intra[k] = append(w.intra[k], tx)
 		default:
-			ins := ledger.InputShards(tx, e.utxo, e.roster.M)
 			i := shards[0]
-			if len(ins) > 0 {
-				i = ins[0]
+			if len(sc.In) > 0 {
+				i = sc.In[0]
 			}
 			j := shards[0]
 			if j == i && len(shards) > 1 {

@@ -44,6 +44,10 @@ type Generator struct {
 	cfg   Config
 	rng   *rand.Rand
 	users []string
+	// shards interns each user's shard (ShardOf(user, cfg.Shards)),
+	// computed once at construction: receiver selection consults the shard
+	// of a candidate per attempt, which must not re-hash the identity.
+	shards map[string]uint64
 	// spendable tracks outpoints this generator may spend next, per user.
 	spendable map[string][]spendableOut
 	genesis   []*ledger.Tx
@@ -80,8 +84,10 @@ func New(cfg Config) (*Generator, error) {
 		g.zipf = rand.NewZipf(g.rng, cfg.ZipfS, 1, uint64(cfg.Users-1))
 	}
 	g.users = make([]string, cfg.Users)
+	g.shards = make(map[string]uint64, cfg.Users)
 	for i := range g.users {
 		g.users[i] = fmt.Sprintf("user-%04d", i)
+		g.shards[g.users[i]] = ledger.ShardOf(g.users[i], cfg.Shards)
 	}
 	for _, u := range g.users {
 		tx := &ledger.Tx{
@@ -131,15 +137,16 @@ func (g *Generator) pickSender() (string, bool) {
 	return "", false
 }
 
-// pickReceiver chooses a counterparty in the same or a different shard.
+// pickReceiver chooses a counterparty in the same or a different shard,
+// using the interned per-user shard table (no hashing per attempt).
 func (g *Generator) pickReceiver(sender string, cross bool) string {
-	senderShard := ledger.ShardOf(sender, g.cfg.Shards)
+	senderShard := g.shards[sender]
 	for attempt := 0; attempt < 8*len(g.users); attempt++ {
 		r := g.users[g.rng.Intn(len(g.users))]
 		if r == sender {
 			continue
 		}
-		inOther := ledger.ShardOf(r, g.cfg.Shards) != senderShard
+		inOther := g.shards[r] != senderShard
 		if inOther == cross {
 			return r
 		}
@@ -172,7 +179,12 @@ func (g *Generator) nextTx() (tx *ledger.Tx, ok bool) {
 		return nil, false
 	}
 	if g.cfg.InvalidFrac > 0 && g.rng.Float64() < g.cfg.InvalidFrac {
-		return g.invalidTx(sender), true
+		bad := g.invalidTx(sender)
+		// Settle the memoized ID before the transaction is shared: nodes
+		// hash cross-shard candidate lists on the simnet worker pool, and
+		// the first ID() call is the only one that is not concurrency-safe.
+		bad.ID()
+		return bad, true
 	}
 	cross := g.rng.Float64() < g.cfg.CrossShardFrac
 	receiver := g.pickReceiver(sender, cross)

@@ -1,0 +1,135 @@
+// Command benchjson runs the repo's round/sweep benchmarks and records the
+// measurements as a structured JSON document (by convention
+// BENCH_round.json at the repo root), so every PR leaves a comparable
+// performance trajectory behind. It shells out to `go test -bench`, parses
+// the output with internal/perfbench, and optionally folds in a baseline
+// document to compute per-benchmark ns/op, B/op, and allocs/op deltas.
+//
+//	go run ./tools/benchjson                                   # defaults
+//	go run ./tools/benchjson -benchtime 5x -out BENCH_round.json
+//	go run ./tools/benchjson -baseline BENCH_prev.json -note "PR 5"
+//	go run ./tools/benchjson -bench 'BenchmarkRoundHotPath$' -benchtime 1x
+//	go run ./tools/benchjson -input ci-bench.log -out BENCH_round.json
+//
+// With -input a previously captured transcript is parsed instead of
+// running go test (useful for converting CI logs or archived runs). The
+// benchmark output is echoed to stderr while it runs; only the JSON
+// document goes to -out (or stdout with -out -).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"cycledger/internal/perfbench"
+)
+
+func main() {
+	bench := flag.String("bench", "BenchmarkRoundHotPath$|BenchmarkPipelinedThroughput", "benchmark regex passed to go test -bench")
+	pkg := flag.String("pkg", ".", "package pattern holding the benchmarks")
+	// The default matches the committed BENCH_round.json: simulation
+	// metrics (tx/round, ticks/round) only compare across equal -benchtime
+	// (see EXPERIMENTS.md, "Profiling & benchmarking").
+	benchtime := flag.String("benchtime", "3x", "go test -benchtime value (e.g. 3x, 1s)")
+	count := flag.Int("count", 1, "go test -count value (last run wins per benchmark)")
+	timeout := flag.Duration("timeout", 20*time.Minute, "go test -timeout")
+	out := flag.String("out", "BENCH_round.json", "output path for the JSON document (- for stdout)")
+	baseline := flag.String("baseline", "", "prior document to compute deltas against (optional)")
+	note := flag.String("note", "", "free-form note stored in the document")
+	input := flag.String("input", "", "parse this saved go-test transcript instead of running benchmarks")
+	flag.Parse()
+
+	var (
+		hdr     perfbench.Header
+		results []perfbench.Result
+		command string
+	)
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var perr error
+		hdr, results, perr = perfbench.Parse(f)
+		f.Close()
+		if perr != nil {
+			fatalf("parsing %s: %v", *input, perr)
+		}
+		command = "(parsed from " + *input + ")"
+	} else {
+		args := []string{
+			"test", "-run", "^$",
+			"-bench", *bench,
+			"-benchtime", *benchtime,
+			"-count", strconv.Itoa(*count),
+			"-benchmem",
+			"-timeout", timeout.String(),
+			*pkg,
+		}
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := cmd.Start(); err != nil {
+			fatalf("starting go test: %v", err)
+		}
+		// Echo the transcript to stderr while parsing it, so CI logs keep
+		// the raw numbers alongside the artifact.
+		var perr error
+		hdr, results, perr = perfbench.Parse(io.TeeReader(stdout, os.Stderr))
+		if err := cmd.Wait(); err != nil {
+			fatalf("go test: %v", err)
+		}
+		if perr != nil {
+			fatalf("parsing benchmark output: %v", perr)
+		}
+		command = "go " + strings.Join(args, " ")
+	}
+	if len(results) == 0 {
+		fatalf("no benchmark lines found (regex %q, pkg %s)", *bench, *pkg)
+	}
+
+	doc := perfbench.NewDocument(hdr, results)
+	doc.Command = command
+	doc.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	doc.Note = *note
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		base, err := perfbench.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		doc.ApplyBaseline(base)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := perfbench.WriteJSON(w, doc); err != nil {
+		fatalf("writing document: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) → %s\n", len(results), *out)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintln(os.Stderr, "benchjson: "+fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
