@@ -1,13 +1,17 @@
-// Command tables regenerates Table I and Table II of the CycLedger paper.
+// Command tables regenerates Table I and Table II of the CycLedger paper,
+// plus this repo's resilience table (throughput under network faults).
 //
 //	go run ./cmd/tables -table 1
 //	go run ./cmd/tables -table 2
+//	go run ./cmd/tables -table resilience
 //
 // Table I is analytic (failure probabilities, storage, qualitative
 // columns). Table II is measured: the tool runs full protocol rounds at
 // two scales — concurrently, through the sim/sweep engine — and prints
 // per-phase, per-role traffic together with the observed scaling exponent
-// against the paper's complexity class.
+// against the paper's complexity class. The resilience table sweeps the
+// fault model's loss axis and reports throughput, dropped traffic,
+// recoveries, and timeout verdicts per loss rate.
 package main
 
 import (
@@ -24,18 +28,21 @@ import (
 )
 
 func main() {
-	table := flag.Int("table", 1, "table to print (1 or 2)")
+	table := flag.String("table", "1", "table to print (1, 2, or resilience)")
 	n := flag.Int64("n", 2000, "network size for Table I")
 	m := flag.Int64("m", 20, "committee count")
 	c := flag.Int64("c", 100, "committee size")
 	lambda := flag.Int64("lambda", 40, "partial set size")
+	seeds := flag.Int("seeds", 3, "replicates per point for the resilience table")
 	flag.Parse()
 
 	switch *table {
-	case 1:
+	case "1":
 		printTable1(*n, *m, *c, *lambda)
-	case 2:
+	case "2":
 		printTable2()
+	case "resilience":
+		printResilience(*seeds)
 	default:
 		fmt.Fprintln(os.Stderr, "tables: unknown table", *table)
 		os.Exit(2)
@@ -117,4 +124,37 @@ func printTable2() {
 	}
 	fmt.Println("\nexp is the log2 growth when m doubles at fixed c: ≈1 is linear in")
 	fmt.Println("n (=mc), ≈2 is quadratic in m (the paper's O(m²)/O(mn) referee rows).")
+}
+
+// printResilience sweeps the fault model's loss axis over the default
+// topology and renders throughput vs degradation — the fault counterpart
+// of the scalability sweep. All cells run concurrently on the sweep pool.
+func printResilience(seeds int) {
+	base := sim.DefaultConfig()
+	base.Rounds = 2
+	g := sweep.Grid{
+		Base:  base,
+		Axes:  []sweep.Axis{{Field: "faults.loss", Values: []any{0.0, 0.01, 0.02, 0.05, 0.1}}},
+		Seeds: seeds,
+	}
+	res, err := sweep.Run(context.Background(), g)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Resilience — throughput under iid message loss (m=%d, c=%d, %d rounds × %d seeds per point)\n\n",
+		base.M, base.C, base.Rounds, seeds)
+	lines, err := sweep.Table(res,
+		"tx_per_round", "dropped_per_round", "recoveries_per_round", "timeouts_per_round", "ticks_per_round")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+	for _, line := range lines {
+		fmt.Println(line)
+	}
+	fmt.Println("\ndropped = messages lost in flight (sender still charged; never counted")
+	fmt.Println("as delivered); timeouts = committees whose phase concluded without a")
+	fmt.Println("quorum within its synchrony bound. Scenario counterparts: lossy,")
+	fmt.Println("partition-heal, churn (cycsim -list-scenarios).")
 }

@@ -198,6 +198,53 @@ func (d *Document) ApplyBaseline(base Document) {
 	}
 }
 
+// gatedMetrics are the simulation metrics the no-regression contract
+// covers (EXPERIMENTS.md): they are deterministic per configuration, so —
+// unlike ns/op on shared CI hardware — they are meaningful to gate on.
+var gatedMetrics = []string{"ticks/round"}
+
+// Regressions compares current measurements against a baseline document
+// under the EXPERIMENTS.md no-regression contract: allocs/op and the
+// gated simulation metrics (ticks/round) must not grow by more than tol
+// (relative, e.g. 0.10 = 10%). It returns one human-readable line per
+// violated benchmark/quantity plus the number of benchmarks that were
+// actually compared; an empty slice means the gate passes — but callers
+// must treat compared == 0 as a failure of the gate itself (a mass
+// rename or log-format drift would otherwise disable the contract
+// silently). Individual benchmarks present on only one side are skipped;
+// renamed or new benches are not regressions.
+func Regressions(current, base Document, tol float64) (regressions []string, compared int) {
+	byName := make(map[string]Result, len(base.Benchmarks))
+	for _, e := range base.Benchmarks {
+		byName[e.Name] = e.Result
+	}
+	check := func(name, quantity string, old, new float64) {
+		if old <= 0 {
+			return // no baseline measurement to gate on
+		}
+		if new > old*(1+tol) {
+			regressions = append(regressions, fmt.Sprintf("%s: %s %.4g → %.4g (+%.1f%%, tolerance %.0f%%)",
+				name, quantity, old, new, (new-old)/old*100, tol*100))
+		}
+	}
+	for _, e := range current.Benchmarks {
+		b, ok := byName[e.Name]
+		if !ok {
+			continue
+		}
+		compared++
+		check(e.Name, "allocs/op", b.AllocsPerOp, e.AllocsPerOp)
+		for _, m := range gatedMetrics {
+			old, okOld := b.Metrics[m]
+			cur, okCur := e.Metrics[m]
+			if okOld && okCur {
+				check(e.Name, m, old, cur)
+			}
+		}
+	}
+	return regressions, compared
+}
+
 // WriteJSON writes the document with stable formatting (two-space indent,
 // trailing newline) so committed artifacts diff cleanly.
 func WriteJSON(w io.Writer, d Document) error {

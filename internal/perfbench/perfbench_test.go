@@ -115,3 +115,49 @@ func TestApplyBaselineAndRoundTrip(t *testing.T) {
 		t.Fatal("entries not sorted by name")
 	}
 }
+
+func TestRegressions(t *testing.T) {
+	mk := func(allocs, ticks float64) Document {
+		return NewDocument(Header{}, []Result{{
+			Name:        "BenchmarkRoundHotPath",
+			AllocsPerOp: allocs,
+			Metrics:     map[string]float64{"ticks/round": ticks, "tx/round": 86.8},
+		}})
+	}
+	base := mk(100_000, 583)
+
+	if got, n := Regressions(mk(100_000, 583), base, 0.10); len(got) != 0 || n != 1 {
+		t.Fatalf("identical documents: regressions %v, compared %d", got, n)
+	}
+	// Within tolerance: pass.
+	if got, _ := Regressions(mk(105_000, 600), base, 0.10); len(got) != 0 {
+		t.Fatalf("within-tolerance drift reported: %v", got)
+	}
+	// Allocations beyond tolerance: fail.
+	if got, _ := Regressions(mk(120_000, 583), base, 0.10); len(got) != 1 || !strings.Contains(got[0], "allocs/op") {
+		t.Fatalf("allocs regression not caught: %v", got)
+	}
+	// ticks/round beyond tolerance: fail.
+	if got, _ := Regressions(mk(100_000, 700), base, 0.10); len(got) != 1 || !strings.Contains(got[0], "ticks/round") {
+		t.Fatalf("ticks regression not caught: %v", got)
+	}
+	// Improvements never fail, and unmatched benchmarks are skipped.
+	better := NewDocument(Header{}, []Result{
+		{Name: "BenchmarkRoundHotPath", AllocsPerOp: 50_000, Metrics: map[string]float64{"ticks/round": 400}},
+		{Name: "BenchmarkBrandNew", AllocsPerOp: 9e9},
+	})
+	if got, n := Regressions(better, base, 0.10); len(got) != 0 || n != 1 {
+		t.Fatalf("improvement/new bench: regressions %v, compared %d", got, n)
+	}
+	// tx/round is informational, not gated.
+	drifted := mk(100_000, 583)
+	drifted.Benchmarks[0].Metrics["tx/round"] = 999
+	if got, _ := Regressions(drifted, base, 0.10); len(got) != 0 {
+		t.Fatalf("ungated metric reported: %v", got)
+	}
+	// Zero name overlap: the compared count exposes the dead gate.
+	renamed := NewDocument(Header{}, []Result{{Name: "BenchmarkRenamed", AllocsPerOp: 1}})
+	if got, n := Regressions(renamed, base, 0.10); len(got) != 0 || n != 0 {
+		t.Fatalf("disjoint documents: regressions %v, compared %d (want 0, 0)", got, n)
+	}
+}

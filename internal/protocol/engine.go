@@ -47,6 +47,16 @@ type Hooks struct {
 // engine reads the struct without synchronisation once rounds start.
 func (e *Engine) SetHooks(h Hooks) { e.hooks = h }
 
+// PhaseTimeout records a committee that could not conclude a phase with a
+// quorum within its synchrony bound: the expected certified artifact never
+// reached the referee committee, so the phase concluded with a timeout
+// verdict for that committee and the round carried on without its
+// contribution.
+type PhaseTimeout struct {
+	Phase     string
+	Committee uint64
+}
+
 // RoundReport summarises one protocol round.
 type RoundReport struct {
 	Round         uint64
@@ -67,6 +77,16 @@ type RoundReport struct {
 	Rewards        map[string]uint64
 	BlockDelivered int // nodes that received the block
 	Screened       int // cross-shard txs dropped by §VIII-A pre-screening
+
+	// Fault-model observability. Dropped/Late/PhaseDropped are zero/nil
+	// without an active fault model; Timeouts is computed on every run —
+	// a byzantine-quiet committee (e.g. an offline leader with recovery
+	// disabled) records timeout verdicts even on a fault-free network.
+	Dropped      uint64                    // messages lost in flight or to crashed nodes
+	DroppedBytes uint64                    // bytes of the dropped messages
+	Late         uint64                    // messages delivered beyond their synchrony bound
+	Timeouts     []PhaseTimeout            // phases concluded by timeout, in phase order
+	PhaseDropped map[string]simnet.Counter // phase → lost traffic (populated under a fault model)
 }
 
 // Throughput returns included transactions per round.
@@ -104,6 +124,39 @@ type Engine struct {
 	prevCertify simnet.Time            // previous round's certify span (cross-round overlap)
 	screened    atomic.Int64           // §VIII-A pre-screen drops (handler hot path)
 	hooks       Hooks                  // optional progress callbacks (SetHooks)
+
+	// Fault-model state (see faults.go). faults is the installed simnet
+	// model (nil when fault-free); faultsActive additionally arms the
+	// silence watchdogs and the per-phase dropped-traffic accounting.
+	faults       simnet.Faults
+	faultsActive bool
+}
+
+// InstallFaults installs an arbitrary simnet fault model and activates the
+// protocol's timeout/watchdog machinery. Config-driven runs go through
+// Params.Faults; this entry point exists for tests and advanced callers
+// that need a custom model (e.g. crash injection keyed to phase starts).
+// Call before the first round; nil uninstalls.
+func (e *Engine) InstallFaults(f simnet.Faults) {
+	if _, none := f.(simnet.NoFaults); none {
+		f = nil
+	}
+	e.Net.SetFaults(f)
+	e.faults = f
+	e.faultsActive = f != nil
+}
+
+// nodeDown reports whether a node is unreachable right now: explicitly
+// byzantine-offline, or crashed per the fault model's schedule.
+func (e *Engine) nodeDown(id simnet.NodeID) bool {
+	i := nodeIndex(id, len(e.nodes))
+	if i < 0 {
+		return true
+	}
+	if e.nodes[i].Behavior.Offline {
+		return true
+	}
+	return e.faults != nil && e.faults.Down(e.Net.Now(), id)
 }
 
 // noteScreened tallies §VIII-A pre-screen drops. It is called from
@@ -141,6 +194,9 @@ func NewEngine(p Params) (*Engine, error) {
 	e.Net = simnet.New(e.lat, p.Seed)
 	if p.Parallelism != 1 {
 		e.Net.SetParallelism(p.Parallelism)
+	}
+	if p.Faults.Active() {
+		e.InstallFaults(p.Faults.Build(p.TotalNodes(), p.Seed))
 	}
 
 	n := p.TotalNodes()
@@ -428,6 +484,8 @@ func (e *Engine) RunRound() (*RoundReport, error) {
 		Rewards:      make(map[string]uint64),
 	}
 	start := e.Net.Now()
+	dropStart := e.Net.Metrics().DroppedTotal()
+	lateStart := e.Net.Metrics().LateTotal()
 
 	if err := runStages(e.roundStages(report), e.P.Pipelined); err != nil {
 		return nil, err
@@ -439,6 +497,11 @@ func (e *Engine) RunRound() (*RoundReport, error) {
 		report.Duration = e.Net.Now() - start
 	}
 	report.Screened = int(e.screened.Swap(0))
+	dropEnd := e.Net.Metrics().DroppedTotal()
+	lateEnd := e.Net.Metrics().LateTotal()
+	report.Dropped = dropEnd.Messages - dropStart.Messages
+	report.DroppedBytes = dropEnd.Bytes - dropStart.Bytes
+	report.Late = lateEnd.Messages - lateStart.Messages
 	e.collectTraffic(report)
 	e.reports = append(e.reports, report)
 
@@ -458,6 +521,14 @@ func (e *Engine) collectTraffic(report *RoundReport) {
 		"referee": e.roster.Referee,
 	}
 	m := e.Net.Metrics()
+	var allIDs []simnet.NodeID
+	if e.faultsActive {
+		report.PhaseDropped = make(map[string]simnet.Counter, len(phases))
+		allIDs = make([]simnet.NodeID, len(e.nodes))
+		for i := range e.nodes {
+			allIDs[i] = simnet.NodeID(i)
+		}
+	}
 	for _, ph := range phases {
 		label := e.phaseLabel(ph)
 		var total simnet.Counter
@@ -471,6 +542,12 @@ func (e *Engine) collectTraffic(report *RoundReport) {
 		report.RoleTraffic[ph] = byRole
 		report.Messages += total.Messages
 		report.Bytes += total.Bytes
+		if e.faultsActive {
+			// Lost traffic per phase, keyed by the destination that never
+			// saw it — the resilience table's raw material. Never part of
+			// the sent/received Table II counters.
+			report.PhaseDropped[ph] = m.DroppedByNodes(label, allIDs)
+		}
 	}
 }
 

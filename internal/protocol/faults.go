@@ -1,0 +1,217 @@
+package protocol
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cycledger/internal/simnet"
+)
+
+// FaultsConfig is the serialisable description of the network fault model
+// a run injects underneath the protocol: iid message loss, beyond-bound
+// message lag, a two-group partition with a heal tick, and periodic node
+// churn. It is pure data — the sim facade carries it in Config.Faults and
+// sweep axes address its fields by dotted JSON path (e.g. "faults.loss") —
+// and the engine compiles it into simnet fault implementations at
+// construction time.
+//
+// A nil pointer and an inactive (zero) config are equivalent: the engine
+// then behaves byte-identically to the pre-fault implementation, which is
+// the invariant the scenario goldens pin down.
+type FaultsConfig struct {
+	// Loss is the iid probability that any message is dropped in flight.
+	Loss float64 `json:"loss"`
+	// LagFrac is the fraction of messages held LagTicks beyond their
+	// synchrony bound — late, not lost (the adversary scheduling outside
+	// the bound).
+	LagFrac float64 `json:"lag_frac"`
+	// LagTicks is the extra delay applied to lagged messages.
+	LagTicks int64 `json:"lag_ticks"`
+	// Partition, when non-nil with 0 < Split < 1, cuts the population in
+	// two groups that cannot exchange messages until the heal tick.
+	Partition *PartitionSpec `json:"partition"`
+	// Churn, when non-nil with Frac > 0, crashes a deterministic subset of
+	// nodes on a periodic schedule; crashed nodes rejoin after their
+	// downtime window.
+	Churn *ChurnSpec `json:"churn"`
+}
+
+// PartitionSpec cuts the population into two groups by node ID: the first
+// ⌊Split·n⌋ node IDs against the rest.
+type PartitionSpec struct {
+	// Split is the fraction of the population on the first side of the cut.
+	Split float64 `json:"split"`
+	// HealTick is the virtual time at which the partition heals
+	// (0 = never).
+	HealTick int64 `json:"heal_tick"`
+}
+
+// ChurnSpec crashes ⌊Frac·n⌋ nodes (a seed-derived uniform subset) on a
+// staggered periodic schedule: each churner is down for Downtime ticks out
+// of every Period, with per-node phase offsets so the population never
+// drops all at once.
+type ChurnSpec struct {
+	// Frac is the fraction of the population subject to churn.
+	Frac float64 `json:"frac"`
+	// Period is the cycle length in ticks.
+	Period int64 `json:"period"`
+	// Downtime is how many ticks of each period a churner spends crashed.
+	Downtime int64 `json:"downtime"`
+}
+
+// Validate checks the spec's structural consistency.
+func (f *FaultsConfig) Validate() error {
+	if f == nil {
+		return nil
+	}
+	if f.Loss < 0 || f.Loss > 1 {
+		return fmt.Errorf("protocol: fault loss probability %v out of [0,1]", f.Loss)
+	}
+	if f.LagFrac < 0 || f.LagFrac > 1 {
+		return fmt.Errorf("protocol: fault lag fraction %v out of [0,1]", f.LagFrac)
+	}
+	if f.LagTicks < 0 {
+		return fmt.Errorf("protocol: negative fault lag (%d ticks)", f.LagTicks)
+	}
+	if p := f.Partition; p != nil {
+		if p.Split < 0 || p.Split > 1 {
+			return fmt.Errorf("protocol: partition split %v out of [0,1]", p.Split)
+		}
+		if p.HealTick < 0 {
+			return fmt.Errorf("protocol: negative partition heal tick (%d)", p.HealTick)
+		}
+	}
+	if c := f.Churn; c != nil {
+		if c.Frac < 0 || c.Frac > 1 {
+			return fmt.Errorf("protocol: churn fraction %v out of [0,1]", c.Frac)
+		}
+		if c.Frac > 0 {
+			if c.Period < 1 {
+				return fmt.Errorf("protocol: churn period %d must be ≥ 1", c.Period)
+			}
+			if c.Downtime < 1 || c.Downtime >= c.Period {
+				return fmt.Errorf("protocol: churn downtime %d must be in [1, period %d)", c.Downtime, c.Period)
+			}
+		}
+	}
+	return nil
+}
+
+// Active reports whether the config injects any fault at all. Inactive
+// configs leave the engine on its fault-free path (no model installed, no
+// watchdogs armed), byte-identical to a nil config.
+func (f *FaultsConfig) Active() bool {
+	if f == nil {
+		return false
+	}
+	if f.Loss > 0 || (f.LagFrac > 0 && f.LagTicks > 0) {
+		return true
+	}
+	if p := f.Partition; p != nil && p.Split > 0 && p.Split < 1 {
+		return true
+	}
+	if c := f.Churn; c != nil && c.Frac > 0 {
+		return true
+	}
+	return false
+}
+
+// Clone returns a deep copy (nil-safe), so JSON overlays and sweep cells
+// never mutate a spec shared with another config value.
+func (f *FaultsConfig) Clone() *FaultsConfig {
+	if f == nil {
+		return nil
+	}
+	c := *f
+	if f.Partition != nil {
+		p := *f.Partition
+		c.Partition = &p
+	}
+	if f.Churn != nil {
+		ch := *f.Churn
+		c.Churn = &ch
+	}
+	return &c
+}
+
+// Seed-domain separators so each sub-model consumes an independent RNG
+// stream derived from the run seed.
+const (
+	faultSeedLoss  = 0x6c6f7373 // "loss"
+	faultSeedLag   = 0x6c616721 // "lag!"
+	faultSeedChurn = 0x63687572 // "chur"
+)
+
+// Build compiles the spec into a simnet fault model for a population of n
+// nodes under the given run seed. Inactive configs return nil (no model).
+func (f *FaultsConfig) Build(n int, seed int64) simnet.Faults {
+	if !f.Active() {
+		return nil
+	}
+	var layers simnet.Composite
+	if f.Loss > 0 {
+		layers = append(layers, simnet.NewLoss(f.Loss, seed^faultSeedLoss))
+	}
+	if f.LagFrac > 0 && f.LagTicks > 0 {
+		layers = append(layers, simnet.NewLag(f.LagFrac, simnet.Time(f.LagTicks), seed^faultSeedLag))
+	}
+	if p := f.Partition; p != nil && p.Split > 0 && p.Split < 1 {
+		cut := int(p.Split * float64(n))
+		if cut > 0 && cut < n {
+			a := make([]simnet.NodeID, 0, cut)
+			b := make([]simnet.NodeID, 0, n-cut)
+			for i := 0; i < n; i++ {
+				if i < cut {
+					a = append(a, simnet.NodeID(i))
+				} else {
+					b = append(b, simnet.NodeID(i))
+				}
+			}
+			layers = append(layers, simnet.NewPartition([][]simnet.NodeID{a, b}, simnet.Time(p.HealTick)))
+		}
+	}
+	if c := f.Churn; c != nil && c.Frac > 0 {
+		count := int(c.Frac * float64(n))
+		if count > 0 {
+			rng := rand.New(rand.NewSource(seed ^ faultSeedChurn))
+			perm := rng.Perm(n)
+			offsets := make(map[simnet.NodeID]int64, count)
+			for j := 0; j < count; j++ {
+				// Stagger churners evenly across the period so the crash
+				// load is spread, not synchronised.
+				offsets[simnet.NodeID(perm[j])] = int64(j) * c.Period / int64(count)
+			}
+			layers = append(layers, &periodicChurn{offsets: offsets, period: c.Period, downtime: c.Downtime})
+		}
+	}
+	if len(layers) == 0 {
+		return nil
+	}
+	if len(layers) == 1 {
+		return layers[0]
+	}
+	return layers
+}
+
+// periodicChurn implements simnet.Faults with a pure-function periodic
+// crash schedule: churner j is down whenever (now + offset_j) mod period
+// falls inside the downtime window. Down draws no randomness and mutates
+// nothing, so it is safe under parallel event execution.
+type periodicChurn struct {
+	offsets          map[simnet.NodeID]int64
+	period, downtime int64
+}
+
+// Fate implements simnet.Faults: churn loses no in-flight traffic itself.
+func (c *periodicChurn) Fate(simnet.Time, simnet.NodeID, simnet.NodeID) simnet.Fate {
+	return simnet.Fate{}
+}
+
+// Down implements simnet.Faults.
+func (c *periodicChurn) Down(now simnet.Time, node simnet.NodeID) bool {
+	off, ok := c.offsets[node]
+	if !ok {
+		return false
+	}
+	return (int64(now)+off)%c.period < c.downtime
+}

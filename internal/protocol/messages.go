@@ -43,7 +43,7 @@ const (
 	snInterOutBase = 1000 // + target committee: consensus on TXList_{i,j} in C_i
 	snInterInBase  = 2000 // + source committee: consensus on received list in C_j
 	snSemiComBase  = 3000 // + committee: C_R validation of semi-commitments
-	snEvictBase    = 4000 // + committee: C_R eviction instance
+	snEvictBase    = 4000 // + committee (+ generation·m for chained re-evictions): C_R eviction instance
 	snBlock        = 5000 // C_R block instance
 )
 
@@ -205,16 +205,25 @@ type ScoreResultMsg struct {
 }
 
 // RecoveryWitness is the evidence driving leader re-selection (§V-D).
+// Kind "silence" extends the paper's provable-misbehaviour witnesses to
+// crash faults: it carries no leader-signed evidence (Phase names the
+// phase that went quiet), so it is never self-verifying — members vote on
+// it only when their own view of the phase corroborates the silence, and
+// the referee committee accepts it purely on the strength of the >c/2
+// approval certificate.
 type RecoveryWitness struct {
-	Kind      string // "equivocation" or "semicommit"
+	Kind      string // "equivocation", "semicommit", or "silence"
 	Committee uint64
+	Phase     string // "silence" only: the phase the leader went quiet in
 	Equiv     *consensus.Witness
 	SemiCom   *SemiComMsg
 }
 
 // Verify checks the witness against the accused leader's public key. A
 // witness is valid only if it contains a leader-signed self-incriminating
-// message (Claims 3 and 4).
+// message (Claims 3 and 4). Silence witnesses always fail here — silence
+// cannot be proven cryptographically; their call sites gate on local
+// corroboration and the approval certificate instead.
 func (w RecoveryWitness) Verify(scheme consensus.SignatureScheme, leaderPK crypto.PublicKey) bool {
 	switch w.Kind {
 	case "equivocation":

@@ -52,7 +52,15 @@ type Node struct {
 	myAccusation *AccuseMsg                               // as accuser
 	escalated    bool                                     // EvictReq already sent
 	leaderVotes  map[simnet.NodeID]map[simnet.NodeID]bool // successor → approving referees
-	accusedOnce  map[string]bool                          // witness kinds already raised
+	accusedOnce  map[string]bool                          // (kind, phase, accused leader) motions already raised
+
+	// Silence-watchdog observations (faults.go / watchdog.go). leaderHeard
+	// is deliberately sticky across leader switches: it means "some leader
+	// of this committee was heard this round", which is what lets common
+	// members corroborate round-start silence without being able to frame
+	// a live successor they have no channel to (see silenceCorroborated).
+	leaderHeard bool
+	scoreSeen   bool
 
 	// Referee-committee state.
 	crSemiComs    map[uint64]*SemiComMsg
@@ -62,6 +70,7 @@ type Node struct {
 	crScores      map[uint64]*ScoreResultMsg
 	crPow         map[simnet.NodeID]bool
 	crEvicted     map[uint64]*EvictPayload
+	crEvictGen    map[uint64]uint64 // coordinator: evictions already proposed per committee
 	crBlock       *Block
 
 	// Block phase.
@@ -101,6 +110,8 @@ func (n *Node) resetRound(r *Roster) {
 	n.escalated = false
 	n.leaderVotes = make(map[simnet.NodeID]map[simnet.NodeID]bool)
 	n.accusedOnce = make(map[string]bool)
+	n.leaderHeard = false
+	n.scoreSeen = false
 	n.crSemiComs = make(map[uint64]*SemiComMsg)
 	n.crMemberLists = make(map[uint64][]simnet.NodeID)
 	n.crIntra = make(map[uint64]*IntraResultMsg)
@@ -108,6 +119,7 @@ func (n *Node) resetRound(r *Roster) {
 	n.crScores = make(map[uint64]*ScoreResultMsg)
 	n.crPow = make(map[simnet.NodeID]bool)
 	n.crEvicted = make(map[uint64]*EvictPayload)
+	n.crEvictGen = make(map[uint64]uint64)
 	n.crBlock = nil
 	n.block = nil
 	n.utxoDigest = crypto.Digest{}
@@ -192,6 +204,12 @@ func (n *Node) validatePayload(leader simnet.NodeID, sn uint64, payload any) boo
 			// matches the attached member list before endorsing it.
 			return p.Msg.ListDigest() == p.Msg.SemiCom
 		case EvictPayload:
+			// A silence witness has no signed evidence to re-check; the
+			// coordinator verified its >c/2 approval certificate before
+			// proposing the eviction (onEvictReq).
+			if p.Witness.Kind == "silence" {
+				return true
+			}
 			return p.Witness.Verify(n.eng.P.Scheme, n.eng.pkOf(p.Evicted))
 		default:
 			return true
@@ -238,10 +256,18 @@ func (n *Node) Handle(ctx *simnet.Context, msg simnet.Message) {
 	if n.Behavior.Offline {
 		return
 	}
+	// Silence-watchdog observation: any delivery from the current leader
+	// proves it alive this round (node-local, never affects traffic).
+	if msg.From == n.curLeader {
+		n.leaderHeard = true
+	}
 	// Consensus traffic routes by instance leader.
 	switch msg.Tag {
 	case consensus.TagPropose:
 		if prop, ok := msg.Payload.(consensus.Propose); ok {
+			if prop.SN == snScore && prop.Leader == n.curLeader {
+				n.scoreSeen = true
+			}
 			if p := n.consFor(prop.Leader); p != nil {
 				p.Handle(ctx, msg)
 			}
@@ -249,6 +275,11 @@ func (n *Node) Handle(ctx *simnet.Context, msg simnet.Message) {
 		return
 	case consensus.TagEcho:
 		if e, ok := msg.Payload.(consensus.Echo); ok {
+			// An echo retransmits the leader-signed proposal, so it counts
+			// as a score observation even when the direct copy was lost.
+			if e.Propose.SN == snScore && e.Propose.Leader == n.curLeader {
+				n.scoreSeen = true
+			}
 			if p := n.consFor(e.Propose.Leader); p != nil {
 				p.Handle(ctx, msg)
 			}

@@ -565,9 +565,10 @@ func (n *Node) onConsensusDecide(ctx *simnet.Context, res consensus.Result) {
 				ctx.Send(id, TagSemiComOK, ok, crypto.HashSize+8)
 			}
 		}
-	case res.SN >= snEvictBase && res.SN < snEvictBase+n.eng.roster.M:
-		// Decided on the coordinator; OnAccept (below) handles fan-out on
-		// every referee member.
+	case res.SN >= snEvictBase && res.SN < snBlock:
+		// Eviction instance (any generation — see proposeEviction): decided
+		// on the coordinator; OnAccept (below) handles fan-out on every
+		// referee member.
 	case res.SN == snBlock:
 		// Handled in OnAccept so every referee member shares the
 		// propagation burden.
@@ -583,7 +584,7 @@ func (n *Node) onConsensusDecide(ctx *simnet.Context, res consensus.Result) {
 
 func (n *Node) onConsensusAccept(ctx *simnet.Context, sn uint64, d crypto.Digest, payload any) {
 	switch {
-	case n.role == RoleReferee && sn >= snEvictBase && sn < snEvictBase+n.eng.roster.M:
+	case n.role == RoleReferee && sn >= snEvictBase && sn < snBlock:
 		ev, ok := payload.(EvictPayload)
 		if !ok {
 			return

@@ -69,6 +69,16 @@ type Params struct {
 	// output in the same round can be accepted. In the original protocol
 	// "at least one of them will be regarded as illegal".
 	ParallelBlockGen bool
+
+	// Faults injects a network fault model underneath the protocol:
+	// message loss, beyond-bound lag, a healing partition, and periodic
+	// node churn (see FaultsConfig). An active model additionally arms the
+	// protocol's silence watchdogs, so leaders that fall silent are
+	// impeached (§V-D extended beyond provable misbehaviour) and phases
+	// that cannot conclude record timeout verdicts in the RoundReport.
+	// nil — and any inactive config — keeps the engine byte-identical to
+	// the fault-free implementation.
+	Faults *FaultsConfig
 }
 
 // DefaultParams returns a small but fully-featured configuration: 4
@@ -146,6 +156,9 @@ func (p Params) Validate() error {
 	}
 	if p.Scheme == nil {
 		return fmt.Errorf("protocol: nil signature scheme")
+	}
+	if err := p.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

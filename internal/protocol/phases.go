@@ -88,8 +88,14 @@ func (e *Engine) phaseSemiCommit(report *RoundReport) {
 			e.Net.After(leader.ID, 1, func(ctx *simnet.Context) { leader.startSemiCommit(ctx) })
 		}
 		e.Net.RunUntilIdle()
+		e.runSilenceSweep("semicommit", pending)
 		pending = e.applyEvictions(report)
 	}
+	// Committees whose announcement never reached C_R conclude the phase
+	// with a timeout verdict instead of blocking the round.
+	e.noteTimeouts(report, "semicommit", func(k uint64) bool {
+		return e.refereeHas(func(n *Node) bool { return n.crSemiComs[k] != nil })
+	})
 }
 
 // applyEvictions folds decided evictions into the roster, punishes the
@@ -155,8 +161,12 @@ func (e *Engine) phaseIntra(report *RoundReport) {
 			e.Net.After(leader.ID, 1, func(ctx *simnet.Context) { leader.startIntra(ctx, a) })
 		}
 		e.Net.RunUntilIdle()
+		e.runSilenceSweep("intra", pending)
 		pending = e.applyEvictions(report)
 	}
+	e.noteTimeouts(report, "intra", func(k uint64) bool {
+		return e.refereeHas(func(n *Node) bool { return n.crIntra[k] != nil })
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -180,6 +190,16 @@ func (e *Engine) phaseInter(report *RoundReport) {
 	// Evictions during inter (e.g. equivocation on cross lists) are folded
 	// in; the fallback-proposer path keeps liveness, so no re-run here.
 	e.applyEvictions(report)
+	// A committee times out when any of its outgoing cross-shard lists
+	// never completed the round trip to C_R.
+	e.noteTimeouts(report, "inter", func(k uint64) bool {
+		for _, j := range sortedCommitteeIDs(e.work.cross[k]) {
+			if !e.refereeHas(func(n *Node) bool { return n.crInter[interKey(k, j)] != nil }) {
+				return false
+			}
+		}
+		return true
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -192,10 +212,24 @@ func (e *Engine) phaseScore(report *RoundReport) {
 		e.Net.After(leader.ID, 1, func(ctx *simnet.Context) { leader.startScore(ctx) })
 	}
 	e.Net.RunUntilIdle()
-	// C_R applies certified score lists to the reputation table.
-	ref := e.refereeView()
-	for _, k := range sortedCommitteeIDs(ref.crScores) {
-		msg := ref.crScores[k]
+	e.runSilenceSweep("score", nil)
+	// Leaders that fell silent in this phase are evicted here; the phase
+	// is not re-run (the successor lacks the evicted leader's vote state),
+	// so the committee concludes with a timeout verdict instead.
+	e.applyEvictions(report)
+	e.noteTimeouts(report, "score", func(k uint64) bool {
+		return e.refereeHas(func(n *Node) bool { return n.crScores[k] != nil })
+	})
+	// C_R applies certified score lists to the reputation table. The
+	// certificate may live on any member (one crashed mid-phase misses
+	// results its peers hold), so each committee's list is taken from the
+	// first holder in roster order — on fault-free runs this is exactly
+	// the first online member's view.
+	for k := uint64(0); k < e.roster.M; k++ {
+		msg := refereeRecord(e, func(n *Node) *ScoreResultMsg { return n.crScores[k] })
+		if msg == nil {
+			continue
+		}
 		payload, ok := msg.Result.Payload.(ScorePayload)
 		if !ok {
 			continue
@@ -206,20 +240,69 @@ func (e *Engine) phaseScore(report *RoundReport) {
 	}
 	// Leaders that completed the intra phase earn their workload bonus
 	// (§VII-A).
-	for _, k := range sortedCommitteeIDs(ref.crIntra) {
-		e.reput.Bonus(e.names[e.roster.Leaders[k]], 1)
+	for k := uint64(0); k < e.roster.M; k++ {
+		if e.refereeHas(func(n *Node) bool { return n.crIntra[k] != nil }) {
+			e.reput.Bonus(e.names[e.roster.Leaders[k]], 1)
+		}
 	}
 }
 
 // refereeView returns the first online referee member — the engine's
-// window into C_R's certified state.
+// window into C_R's certified state. Under a fault model, referees
+// currently crashed by the churn schedule are skipped too. It reads the
+// simnet clock, so it must only be called from network-stage context
+// (the stages that own the event loop); CPU stages that may overlap a
+// network stage read individual artifacts through refereeRecord /
+// refereeHas instead, which never touch the clock.
 func (e *Engine) refereeView() *Node {
 	for _, id := range e.roster.Referee {
-		if !e.nodes[id].Behavior.Offline {
+		if !e.nodeDown(id) {
 			return e.nodes[id]
 		}
 	}
 	return e.nodes[e.roster.Referee[0]]
+}
+
+// refereeHas reports whether any referee member holds a phase artifact —
+// C_R's joint view. A member crashed for part of a phase misses results
+// its peers recorded, so a single member's map is the wrong oracle for
+// "did this phase conclude"; scanning the committee in roster order is
+// deterministic and, on fault-free runs, equivalent to asking the first
+// online member (offline members hold empty maps).
+func (e *Engine) refereeHas(has func(*Node) bool) bool {
+	for _, id := range e.roster.Referee {
+		if has(e.nodes[id]) {
+			return true
+		}
+	}
+	return false
+}
+
+// refereeRecord returns the first referee member's copy of a certified
+// artifact, scanning the roster in order — the single-holder read of
+// C_R's joint view (refereeHas is the existence check). Offline or
+// crashed members simply hold no records, so no liveness filtering is
+// needed, and the scan reads only node maps — never the simnet clock —
+// making it safe from CPU stages that overlap a network stage.
+func refereeRecord[T any](e *Engine, get func(*Node) *T) *T {
+	for _, id := range e.roster.Referee {
+		if v := get(e.nodes[id]); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// noteTimeouts appends a timeout verdict for every committee whose phase
+// did not conclude — the expected certified artifact never materialised
+// within the phase's synchrony bound. Verdicts are recorded in committee
+// order, so reports stay byte-deterministic.
+func (e *Engine) noteTimeouts(report *RoundReport, phase string, concluded func(k uint64) bool) {
+	for k := uint64(0); k < e.roster.M; k++ {
+		if !concluded(k) {
+			report.Timeouts = append(report.Timeouts, PhaseTimeout{Phase: phase, Committee: k})
+		}
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -261,7 +344,9 @@ func (e *Engine) phaseSelect(report *RoundReport) {
 	for i, id := range quorum {
 		b := pvss.DealHonest
 		switch {
-		case e.nodes[id].Behavior.Offline:
+		case e.nodeDown(id):
+			// Offline behaviour or crashed by the fault model's schedule:
+			// the member deals nothing this round.
 			b = pvss.DealSilent
 		case e.nodes[id].Behavior.IsByzantine():
 			b = pvss.DealAbort
@@ -283,15 +368,31 @@ func (e *Engine) phaseSelect(report *RoundReport) {
 	}
 	e.Net.RunUntilIdle()
 
-	// Participants recorded by C_R.
-	ref := e.refereeView()
-	participants := make([]simnet.NodeID, 0, len(ref.crPow))
-	for id := range ref.crPow {
+	// Participants recorded by C_R — the union over referee members, so a
+	// member crashed for part of the phase does not erase submissions its
+	// peers recorded (fault-free, every member holds the same set).
+	seen := make(map[simnet.NodeID]bool)
+	for _, rid := range e.roster.Referee {
+		for id := range e.nodes[rid].crPow {
+			seen[id] = true
+		}
+	}
+	participants := make([]simnet.NodeID, 0, len(seen))
+	for id := range seen {
 		participants = append(participants, id)
 	}
 	simnet.SortNodeIDs(participants)
 	report.Participants = len(participants)
 
+	if len(participants) == 0 {
+		// Total synchrony failure: no participation proof survived the
+		// fault model (e.g. every referee crashed through the selection
+		// phase, or the loss rate ate every submission). Electing from an
+		// empty pool would wedge the next round, so the committee keeps
+		// its current configuration — liveness degrades to the previous
+		// roster instead of halting. Participants stays 0 in the report.
+		participants = e.roster.AllNodes()
+	}
 	e.nextRoster = e.buildNextRoster(next, participants)
 }
 
@@ -445,6 +546,34 @@ func (e *Engine) phaseBlock(report *RoundReport) error {
 		}
 	})
 	e.Net.RunUntilIdle()
+	e.runSilenceSweep("block", nil)
+
+	// A leader that went quiet during propagation (crashed, partitioned)
+	// is evicted here; the certified block is re-served to its successors
+	// so the committees still receive it. The server is any referee member
+	// that holds the certified block and is up right now — a single member
+	// crashed mid-phase must not cancel a re-serve its peers can perform.
+	if affected := e.applyEvictions(report); len(affected) > 0 {
+		var server *Node
+		for _, id := range e.roster.Referee {
+			if n := e.nodes[id]; n.crBlock != nil && !e.nodeDown(id) {
+				server = n
+				break
+			}
+		}
+		if server != nil {
+			rb := server.crBlock
+			e.Net.After(server.ID, 1, func(ctx *simnet.Context) {
+				for _, k := range affected {
+					ctx.Send(e.roster.Leaders[k], TagBlock, BlockMsg{Block: rb}, rb.WireSize())
+				}
+			})
+			e.Net.RunUntilIdle()
+		}
+	}
+	e.noteTimeouts(report, "block", func(k uint64) bool {
+		return e.nodes[e.roster.Leaders[k]].block != nil
+	})
 
 	for _, n := range e.nodes {
 		if n.block != nil || (n.role == RoleReferee && n.crBlock != nil) {

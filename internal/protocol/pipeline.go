@@ -261,7 +261,14 @@ type pendingBlock struct {
 // CPU over state that is final once the inter phase drains, so it overlaps
 // the reputation and selection phases.
 func (e *Engine) stageAssemble(report *RoundReport) error {
-	ref := e.refereeView()
+	// C_R's joint view: a certified result may live on any referee member
+	// (one crashed mid-phase misses messages its peers recorded), so the
+	// candidate set is the union across members via refereeRecord — on
+	// fault-free runs exactly the first online member's view. This CPU
+	// stage may overlap the score network stage, but refereeRecord reads
+	// only node maps (never the simnet clock or churn schedule), and the
+	// crIntra/crInter maps are final once the inter phase — this stage's
+	// dependency — has drained.
 	var candidates []*ledger.Tx
 	seen := make(map[ledger.TxID]bool)
 	add := func(txs []*ledger.Tx) {
@@ -273,19 +280,29 @@ func (e *Engine) stageAssemble(report *RoundReport) error {
 			}
 		}
 	}
-	for _, k := range sortedCommitteeIDs(ref.crIntra) {
-		if payload, ok := ref.crIntra[k].Result.Payload.(IntraPayload); ok {
-			add(payload.Txs)
+	for k := uint64(0); k < e.roster.M; k++ {
+		if msg := refereeRecord(e, func(n *Node) *IntraResultMsg { return n.crIntra[k] }); msg != nil {
+			if payload, ok := msg.Result.Payload.(IntraPayload); ok {
+				add(payload.Txs)
+			}
 		}
 	}
-	interKeys := make([]string, 0, len(ref.crInter))
-	for key := range ref.crInter {
+	interKeySet := make(map[string]bool)
+	for _, id := range e.roster.Referee {
+		for key := range e.nodes[id].crInter {
+			interKeySet[key] = true
+		}
+	}
+	interKeys := make([]string, 0, len(interKeySet))
+	for key := range interKeySet {
 		interKeys = append(interKeys, key)
 	}
 	sort.Strings(interKeys)
 	for _, key := range interKeys {
-		if payload, ok := ref.crInter[key].Result.Payload.(InterPayload); ok {
-			add(payload.Txs)
+		if msg := refereeRecord(e, func(n *Node) *InterResultMsg { return n.crInter[key] }); msg != nil {
+			if payload, ok := msg.Result.Payload.(InterPayload); ok {
+				add(payload.Txs)
+			}
 		}
 	}
 

@@ -1,6 +1,8 @@
 package protocol
 
 import (
+	"strconv"
+
 	"cycledger/internal/consensus"
 	"cycledger/internal/simnet"
 )
@@ -14,6 +16,12 @@ import (
 // Algorithm 3 on the eviction; on acceptance every referee member sends
 // NEW_LEADER to the committee, whose members switch leaders once a
 // majority of referees has spoken.
+//
+// The same pipeline carries two witness families: provable misbehaviour
+// (equivocation, forged semi-commitments — verified cryptographically at
+// every hop) and, when a fault model is active, "silence" (watchdog.go) —
+// unprovable by construction, so members vote only on local corroboration
+// and C_R accepts only the >c/2 approval certificate.
 
 // onEquivocation fires when this node can prove an instance leader signed
 // two conflicting proposals.
@@ -33,12 +41,18 @@ func (n *Node) onEquivocation(ctx *simnet.Context, leader simnet.NodeID, w conse
 }
 
 // accuse broadcasts the impeachment to the committee (§V-D: "broadcast
-// his/her witness to all members ... and ask them to vote").
+// his/her witness to all members ... and ask them to vote"). Accusations
+// are deduplicated per (kind, phase, accused leader): one accuser never
+// spams the same motion twice, but when an eviction installs a successor
+// that is itself unreachable, the next watchdog pass can open a fresh
+// motion against the new leader — chained recovery through crashed
+// successors stays possible within maxRecoveryAttempts.
 func (n *Node) accuse(ctx *simnet.Context, w RecoveryWitness) {
-	if n.accusedOnce[w.Kind] || n.Behavior.Offline {
+	key := w.Kind + "/" + w.Phase + "/" + strconv.Itoa(int(n.curLeader))
+	if n.accusedOnce[key] || n.Behavior.Offline {
 		return
 	}
-	n.accusedOnce[w.Kind] = true
+	n.accusedOnce[key] = true
 	msg := AccuseMsg{Round: n.eng.round, Committee: n.comID, Accuser: n.ID, Witness: w}
 	n.myAccusation = &msg
 	n.myApprovals = nil
@@ -63,7 +77,14 @@ func (n *Node) onAccuse(ctx *simnet.Context, m AccuseMsg) {
 	if n.Behavior.IsByzantine() {
 		return // byzantine members do not help impeach their leader
 	}
-	if !m.Witness.Verify(n.eng.P.Scheme, n.eng.pkOf(n.curLeader)) {
+	if m.Witness.Kind == "silence" {
+		// Silence carries no signed evidence; a member votes for it only
+		// when its own view of the phase also lacks the leader's artifact.
+		// A live leader that reached a majority keeps its majority.
+		if !n.silenceCorroborated(m.Witness.Phase) {
+			return
+		}
+	} else if !m.Witness.Verify(n.eng.P.Scheme, n.eng.pkOf(n.curLeader)) {
 		return // Claim 4: invalid witnesses cannot frame an honest leader
 	}
 	ap := ApproveMsg{Round: m.Round, Committee: m.Committee, Accuser: m.Accuser, Voter: n.ID}
@@ -112,13 +133,19 @@ func (n *Node) onEvictReq(ctx *simnet.Context, m EvictReqMsg) {
 	if n.eng.coordinatorFor(m.Committee) != n.ID {
 		return
 	}
-	if _, done := n.crEvicted[m.Committee]; done {
+	// Deduplicate only while an eviction is in flight (decided but not yet
+	// folded into the roster). Once the recorded successor holds the seat,
+	// a fresh request — against the new leader — may start the next
+	// eviction, so recovery can chain through a crashed successor.
+	if ev, done := n.crEvicted[m.Committee]; done && n.eng.roster.Leaders[m.Committee] != ev.Successor {
 		return
 	}
 	leader := n.eng.roster.Leaders[m.Committee]
-	if !m.Witness.Verify(n.eng.P.Scheme, n.eng.pkOf(leader)) {
+	if m.Witness.Kind != "silence" && !m.Witness.Verify(n.eng.P.Scheme, n.eng.pkOf(leader)) {
 		return
 	}
+	// For silence the approval certificate below is the whole evidence:
+	// >c/2 distinct committee members signed that the leader went quiet.
 	// Check the approval certificate: distinct committee members, valid
 	// signatures, strict majority.
 	members := map[simnet.NodeID]bool{}
@@ -142,16 +169,24 @@ func (n *Node) onEvictReq(ctx *simnet.Context, m EvictReqMsg) {
 }
 
 // proposeEviction starts C_R's Algorithm 3 instance replacing the leader
-// with the lowest-ID partial-set member.
+// with the lowest-ID partial-set member. Each eviction of a committee
+// gets a fresh sequence number (generation-stepped by m), so a chained
+// re-eviction never re-proposes on a consumed instance.
 func (n *Node) proposeEviction(ctx *simnet.Context, k uint64, w RecoveryWitness) {
 	evicted := n.eng.roster.Leaders[k]
 	successor := n.eng.successorFor(k)
 	if successor < 0 {
 		return
 	}
+	gen := n.crEvictGen[k]
+	sn := snEvictBase + gen*n.eng.roster.M + k
+	if sn >= snBlock {
+		return // out of eviction instances this round
+	}
+	n.crEvictGen[k] = gen + 1
 	payload := EvictPayload{Committee: k, Evicted: evicted, Successor: successor, Witness: w}
 	if p := n.consFor(n.ID); p != nil {
-		p.Propose(ctx, snEvictBase+k, payload.Digest(), payload, 250)
+		p.Propose(ctx, sn, payload.Digest(), payload, 250)
 	}
 }
 

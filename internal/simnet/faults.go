@@ -1,0 +1,222 @@
+package simnet
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Fate is a fault model's verdict on one message: deliver it normally,
+// drop it in flight, or hold it Delay ticks beyond the delay drawn from
+// the link's synchrony bound (the "delayed past the bound" adversary of a
+// partially synchronous network).
+type Fate struct {
+	// Drop loses the message in flight: the sender's traffic is charged,
+	// the receiver never sees it, and the dropped counters account it.
+	Drop bool
+	// Delay is added on top of the synchrony-bound draw (0 = on time).
+	Delay Time
+}
+
+// Faults is a pluggable network fault model. The zero-fault model is a
+// nil Faults (or NoFaults): the engine then behaves byte-identically to a
+// fault-free network.
+//
+// Determinism contract:
+//
+//   - Fate is consulted exactly once per transmitted message, always from
+//     the single goroutine that applies send effects, in deterministic
+//     order — implementations may therefore consume their own seeded RNG.
+//   - Down must be a pure function of (now, node): it is evaluated during
+//     (possibly parallel) event execution and re-evaluated freely, so it
+//     must not mutate state or draw randomness.
+type Faults interface {
+	// Fate decides what happens to a message sent now from→to.
+	Fate(now Time, from, to NodeID) Fate
+	// Down reports whether the node is crashed at virtual time now.
+	// Crashed nodes transmit nothing, receive nothing, and their timers
+	// do not fire; a node whose Down turns false again has rejoined.
+	Down(now Time, node NodeID) bool
+}
+
+// NoFaults is the explicit fault-free model: every message is delivered
+// within its synchrony bound and every node stays up. Installing it is
+// equivalent to installing no fault model at all.
+type NoFaults struct{}
+
+// Fate implements Faults: always deliver.
+func (NoFaults) Fate(Time, NodeID, NodeID) Fate { return Fate{} }
+
+// Down implements Faults: never crashed.
+func (NoFaults) Down(Time, NodeID) bool { return false }
+
+// Loss drops each message independently with probability p, from a
+// seeded RNG separate from the latency RNG (fault draws never perturb the
+// link-delay stream of the surviving messages). Construct with NewLoss.
+type Loss struct {
+	p   float64
+	rng *rand.Rand
+}
+
+// NewLoss returns an iid message-loss model with drop probability p
+// (clamped to [0, 1]) and its own deterministic RNG.
+func NewLoss(p float64, seed int64) *Loss {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return &Loss{p: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Fate implements Faults.
+func (l *Loss) Fate(Time, NodeID, NodeID) Fate {
+	return Fate{Drop: l.p > 0 && l.rng.Float64() < l.p}
+}
+
+// Down implements Faults.
+func (l *Loss) Down(Time, NodeID) bool { return false }
+
+// Lag delays a fraction of messages by a fixed number of ticks beyond
+// their synchrony bound — the messages are late, not lost. Construct with
+// NewLag.
+type Lag struct {
+	frac  float64
+	extra Time
+	rng   *rand.Rand
+}
+
+// NewLag returns a model that holds each message with probability frac
+// for extra ticks beyond the drawn link delay.
+func NewLag(frac float64, extra Time, seed int64) *Lag {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return &Lag{frac: frac, extra: extra, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Fate implements Faults.
+func (l *Lag) Fate(Time, NodeID, NodeID) Fate {
+	if l.frac > 0 && l.extra > 0 && l.rng.Float64() < l.frac {
+		return Fate{Delay: l.extra}
+	}
+	return Fate{}
+}
+
+// Down implements Faults.
+func (l *Lag) Down(Time, NodeID) bool { return false }
+
+// Partition splits the population into groups that cannot exchange
+// messages until the partition heals. Nodes not listed in any group form
+// one implicit extra group (they can talk to each other, but not across
+// the cut). Construct with NewPartition.
+type Partition struct {
+	group  map[NodeID]int
+	healAt Time // 0 = never heals
+}
+
+// NewPartition builds a partition from explicit groups, healing at healAt
+// (0 = never). A node listed twice keeps its first group.
+func NewPartition(groups [][]NodeID, healAt Time) *Partition {
+	p := &Partition{group: make(map[NodeID]int), healAt: healAt}
+	for g, ids := range groups {
+		for _, id := range ids {
+			if _, dup := p.group[id]; !dup {
+				p.group[id] = g
+			}
+		}
+	}
+	return p
+}
+
+// Fate implements Faults: messages crossing the cut are dropped until the
+// heal tick.
+func (p *Partition) Fate(now Time, from, to NodeID) Fate {
+	if p.healAt > 0 && now >= p.healAt {
+		return Fate{}
+	}
+	gf, okf := p.group[from]
+	gt, okt := p.group[to]
+	if !okf {
+		gf = -1
+	}
+	if !okt {
+		gt = -1
+	}
+	return Fate{Drop: gf != gt}
+}
+
+// Down implements Faults: a partition crashes nobody.
+func (p *Partition) Down(Time, NodeID) bool { return false }
+
+// Window is one crash interval: the node is down in [From, To). To = 0
+// means the node never rejoins.
+type Window struct {
+	From Time
+	To   Time
+}
+
+// Churn crashes nodes on a fixed schedule of windows — the crash/rejoin
+// fault class. Down is a pure schedule lookup, so it is safe under
+// parallel event execution. Construct with NewChurn.
+type Churn struct {
+	windows map[NodeID][]Window
+}
+
+// NewChurn builds a churn model from per-node crash windows. Windows are
+// kept sorted by start for the lookup.
+func NewChurn(windows map[NodeID][]Window) *Churn {
+	c := &Churn{windows: make(map[NodeID][]Window, len(windows))}
+	for id, ws := range windows {
+		sorted := append([]Window(nil), ws...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].From < sorted[j].From })
+		c.windows[id] = sorted
+	}
+	return c
+}
+
+// Fate implements Faults: churn loses no in-flight messages by itself
+// (crashed endpoints are handled by Down).
+func (c *Churn) Fate(Time, NodeID, NodeID) Fate { return Fate{} }
+
+// Down implements Faults.
+func (c *Churn) Down(now Time, node NodeID) bool {
+	for _, w := range c.windows[node] {
+		if now < w.From {
+			return false
+		}
+		if w.To == 0 || now < w.To {
+			return true
+		}
+	}
+	return false
+}
+
+// Composite layers several fault models: a message is dropped if any
+// layer drops it, extra delays add up, and a node is down if any layer
+// says so.
+type Composite []Faults
+
+// Fate implements Faults.
+func (cs Composite) Fate(now Time, from, to NodeID) Fate {
+	var out Fate
+	for _, f := range cs {
+		fate := f.Fate(now, from, to)
+		out.Drop = out.Drop || fate.Drop
+		out.Delay += fate.Delay
+	}
+	return out
+}
+
+// Down implements Faults.
+func (cs Composite) Down(now Time, node NodeID) bool {
+	for _, f := range cs {
+		if f.Down(now, node) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,265 @@
+package simnet
+
+import (
+	"testing"
+)
+
+// echoNet builds a network where every node in [0, n) records deliveries.
+func echoNet(lat Latency, seed int64, n int) (*Network, map[NodeID]int) {
+	net := New(lat, seed)
+	recv := map[NodeID]int{}
+	for id := NodeID(0); id < NodeID(n); id++ {
+		id := id
+		net.Register(id, func(ctx *Context, msg Message) { recv[id]++ })
+	}
+	return net, recv
+}
+
+func TestNoFaultsByteIdentical(t *testing.T) {
+	// A run with NoFaults installed must be event-for-event identical to a
+	// run with no fault model at all: same delivery times, same metrics.
+	run := func(install bool) ([]Time, Counter) {
+		n := New(DefaultLatency(), 1234)
+		if install {
+			n.SetFaults(NoFaults{})
+		}
+		var times []Time
+		for id := NodeID(0); id < 10; id++ {
+			id := id
+			n.Register(id, func(ctx *Context, msg Message) {
+				times = append(times, ctx.Now())
+				if ctx.Now() < 100 {
+					ctx.Send((id+1)%10, "RING", nil, 7)
+				}
+			})
+		}
+		n.Send(0, 0, "RING", nil, 7)
+		n.RunUntilIdle()
+		return times, n.Metrics().Total()
+	}
+	aT, aC := run(false)
+	bT, bC := run(true)
+	if len(aT) != len(bT) || aC != bC {
+		t.Fatalf("NoFaults diverged: %d/%v events vs %d/%v", len(aT), aC, len(bT), bC)
+	}
+	for i := range aT {
+		if aT[i] != bT[i] {
+			t.Fatalf("delivery %d at t=%d with NoFaults, t=%d without", i, bT[i], aT[i])
+		}
+	}
+}
+
+func TestLossDropsAndAccounts(t *testing.T) {
+	n, recv := echoNet(DefaultLatency(), 5, 2)
+	n.SetFaults(NewLoss(1, 99)) // drop everything
+	n.Metrics().SetPhase("p")
+	for i := 0; i < 20; i++ {
+		n.Send(0, 1, "X", nil, 10)
+	}
+	n.RunUntilIdle()
+	if recv[1] != 0 {
+		t.Fatalf("lossy link delivered %d messages", recv[1])
+	}
+	if got := n.Dropped(); got != 20 {
+		t.Fatalf("Dropped() = %d, want 20", got)
+	}
+	// Sender charged, receiver not, dropped counter keyed by destination.
+	if c := n.Metrics().Sent("p", 0); c.Messages != 20 || c.Bytes != 200 {
+		t.Fatalf("sent = %+v, want 20 msgs / 200 bytes", c)
+	}
+	if c := n.Metrics().Received("p", 1); c.Messages != 0 {
+		t.Fatalf("received = %+v, want zero (drops must not count as delivered)", c)
+	}
+	if c := n.Metrics().Dropped("p", 1); c.Messages != 20 || c.Bytes != 200 {
+		t.Fatalf("dropped = %+v, want 20 msgs / 200 bytes", c)
+	}
+	if c := n.Metrics().DroppedTotal(); c.Messages != 20 {
+		t.Fatalf("dropped total = %+v", c)
+	}
+}
+
+func TestLossPartial(t *testing.T) {
+	n, recv := echoNet(DefaultLatency(), 6, 2)
+	n.SetFaults(NewLoss(0.5, 7))
+	const sent = 400
+	for i := 0; i < sent; i++ {
+		n.Send(0, 1, "X", nil, 1)
+	}
+	n.RunUntilIdle()
+	if recv[1] == 0 || recv[1] == sent {
+		t.Fatalf("p=0.5 loss delivered %d of %d", recv[1], sent)
+	}
+	if uint64(recv[1])+n.Dropped() != sent {
+		t.Fatalf("delivered %d + dropped %d ≠ %d", recv[1], n.Dropped(), sent)
+	}
+}
+
+func TestLagDelaysBeyondBound(t *testing.T) {
+	lat := DefaultLatency()
+	lat.Deterministic = true
+	n := New(lat, 8)
+	var at Time
+	n.Register(1, func(ctx *Context, msg Message) { at = ctx.Now() })
+	n.SetFaults(NewLag(1, 25, 3)) // every message held 25 ticks extra
+	n.Send(0, 1, "X", nil, 4)
+	n.RunUntilIdle()
+	if want := lat.Delta + 25; at != want {
+		t.Fatalf("lagged delivery at %d, want %d", at, want)
+	}
+	if c := n.Metrics().LateTotal(); c.Messages != 1 || c.Bytes != 4 {
+		t.Fatalf("late total = %+v", c)
+	}
+}
+
+func TestPartitionHeals(t *testing.T) {
+	lat := DefaultLatency()
+	lat.Deterministic = true
+	n, recv := echoNet(lat, 9, 4)
+	// {0,1} vs {2,3}, healing at t=50.
+	n.SetFaults(NewPartition([][]NodeID{{0, 1}, {2, 3}}, 50))
+
+	n.Send(0, 1, "IN", nil, 1)  // same side: delivered
+	n.Send(0, 2, "OUT", nil, 1) // across the cut: dropped
+	n.RunUntilIdle()
+	if recv[1] != 1 || recv[2] != 0 {
+		t.Fatalf("pre-heal recv = %v", recv)
+	}
+
+	// After the heal tick the cut is gone.
+	n.After(0, 60, func(ctx *Context) { ctx.Send(2, "OUT", nil, 1) })
+	n.RunUntilIdle()
+	if recv[2] != 1 {
+		t.Fatalf("post-heal recv = %v", recv)
+	}
+}
+
+func TestPartitionUnlistedNodesFormImplicitGroup(t *testing.T) {
+	n, recv := echoNet(DefaultLatency(), 10, 4)
+	n.SetFaults(NewPartition([][]NodeID{{0}}, 0)) // never heals; 1..3 unlisted
+	n.Send(1, 2, "X", nil, 1)                     // both implicit: delivered
+	n.Send(0, 3, "X", nil, 1)                     // across: dropped
+	n.RunUntilIdle()
+	if recv[2] != 1 || recv[3] != 0 {
+		t.Fatalf("recv = %v", recv)
+	}
+}
+
+func TestChurnCrashAndRejoin(t *testing.T) {
+	lat := DefaultLatency()
+	lat.Deterministic = true
+	n, recv := echoNet(lat, 11, 2)
+	n.SetFaults(NewChurn(map[NodeID][]Window{1: {{From: 5, To: 40}}}))
+
+	// Delivered at t=Δ=10 while node 1 is down → dropped at delivery.
+	n.Send(0, 1, "X", nil, 1)
+	// Sent from inside the down window → never transmitted.
+	n.After(0, 20, func(ctx *Context) {})
+	n.RunUntilIdle()
+	if recv[1] != 0 {
+		t.Fatalf("down node received %d", recv[1])
+	}
+	if n.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1 (the delivery into the window)", n.Dropped())
+	}
+
+	// After rejoin the node receives again.
+	n.After(0, 50, func(ctx *Context) { ctx.Send(1, "X", nil, 1) })
+	n.RunUntilIdle()
+	if recv[1] != 1 {
+		t.Fatalf("rejoined node received %d", recv[1])
+	}
+}
+
+func TestChurnCrashedSenderTransmitsNothing(t *testing.T) {
+	lat := DefaultLatency()
+	lat.Deterministic = true
+	n, recv := echoNet(lat, 12, 2)
+	n.Metrics().SetPhase("p")
+	n.SetFaults(NewChurn(map[NodeID][]Window{0: {{From: 0, To: 0}}})) // down forever
+	n.Send(0, 1, "X", nil, 1)
+	n.RunUntilIdle()
+	if recv[1] != 0 {
+		t.Fatal("message from a crashed sender was delivered")
+	}
+	if c := n.Metrics().Sent("p", 0); c.Messages != 0 {
+		t.Fatalf("crashed sender charged %+v sent traffic", c)
+	}
+	// Timers owned by a crashed node do not fire.
+	fired := false
+	n.After(0, 3, func(ctx *Context) { fired = true })
+	n.RunUntilIdle()
+	if fired {
+		t.Fatal("timer fired on a crashed node")
+	}
+}
+
+func TestCompositeMerges(t *testing.T) {
+	n, recv := echoNet(DefaultLatency(), 13, 3)
+	n.SetFaults(Composite{
+		NewLoss(1, 1), // drops everything
+		NewChurn(map[NodeID][]Window{2: {{From: 0, To: 0}}}),
+	})
+	n.Send(0, 1, "X", nil, 1)
+	n.RunUntilIdle()
+	if recv[1] != 0 {
+		t.Fatal("composite did not apply the loss layer")
+	}
+	f := Composite{NewChurn(map[NodeID][]Window{2: {{From: 0, To: 0}}})}
+	if !f.Down(10, 2) || f.Down(10, 1) {
+		t.Fatal("composite Down wrong")
+	}
+}
+
+func TestFaultDeterminismAcrossParallelism(t *testing.T) {
+	// The faulty engine must stay byte-deterministic at any worker count.
+	run := func(par int) (uint64, uint64, Counter) {
+		n := New(DefaultLatency(), 77)
+		n.SetParallelism(par)
+		n.SetFaults(Composite{
+			NewLoss(0.2, 5),
+			NewChurn(map[NodeID][]Window{3: {{From: 30, To: 90}}, 7: {{From: 10, To: 0}}}),
+		})
+		for id := NodeID(0); id < 30; id++ {
+			id := id
+			n.Register(id, func(ctx *Context, msg Message) {
+				if ctx.Now() < 60 {
+					ctx.Broadcast([]NodeID{(id + 1) % 30, (id + 2) % 30}, "G", nil, 3)
+				}
+			})
+		}
+		for id := NodeID(0); id < 30; id++ {
+			n.Send(id, id, "G", nil, 3)
+		}
+		n.RunUntilIdle()
+		return n.Delivered(), n.Dropped(), n.Metrics().Total()
+	}
+	d1, x1, c1 := run(1)
+	d8, x8, c8 := run(8)
+	if d1 != d8 || x1 != x8 || c1 != c8 {
+		t.Fatalf("faulty run diverged across parallelism: (%d,%d,%v) vs (%d,%d,%v)", d1, x1, c1, d8, x8, c8)
+	}
+	if x1 == 0 {
+		t.Fatal("no drops under a 20% loss model")
+	}
+}
+
+func TestLaggedMessageToCrashedNodeIsDroppedNotLate(t *testing.T) {
+	lat := DefaultLatency()
+	lat.Deterministic = true
+	n, recv := echoNet(lat, 14, 2)
+	n.SetFaults(Composite{
+		NewLag(1, 30, 3), // every message held 30 ticks extra
+		NewChurn(map[NodeID][]Window{1: {{From: 0, To: 0}}}), // dest down forever
+	})
+	n.Send(0, 1, "X", nil, 4)
+	n.RunUntilIdle()
+	if recv[1] != 0 {
+		t.Fatal("crashed node received a message")
+	}
+	if c := n.Metrics().LateTotal(); c.Messages != 0 {
+		t.Fatalf("undelivered message counted late: %+v", c)
+	}
+	if c := n.Metrics().DroppedTotal(); c.Messages != 1 {
+		t.Fatalf("dropped total = %+v, want 1", c)
+	}
+}

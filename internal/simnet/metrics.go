@@ -30,13 +30,24 @@ type phaseNode struct {
 // Metrics accounts traffic per phase, per node, and per tag. The protocol
 // layer labels phases (SetPhase) and later aggregates per-node counters by
 // role to reproduce Table II.
+//
+// Fault accounting: a message lost in flight (or addressed to a crashed
+// node) is charged to the sender's `sent` counters — the transmission
+// happened — and to the `dropped` counters keyed by the destination that
+// never saw it, but never to `received`. Messages held beyond their
+// synchrony bound are charged to `late` (and still to `received` when they
+// eventually arrive). Keeping the delivered-bytes maps free of lost
+// traffic is what keeps Table II faithful under fault models.
 type Metrics struct {
-	mu       sync.Mutex
-	phase    string
-	sent     map[phaseNode]*Counter
-	received map[phaseNode]*Counter
-	byTag    map[string]*Counter
-	total    Counter
+	mu        sync.Mutex
+	phase     string
+	sent      map[phaseNode]*Counter
+	received  map[phaseNode]*Counter
+	dropped   map[phaseNode]*Counter
+	byTag     map[string]*Counter
+	total     Counter
+	totalDrop Counter
+	totalLate Counter
 }
 
 // NewMetrics returns empty accounting.
@@ -45,6 +56,7 @@ func NewMetrics() *Metrics {
 		phase:    "init",
 		sent:     make(map[phaseNode]*Counter),
 		received: make(map[phaseNode]*Counter),
+		dropped:  make(map[phaseNode]*Counter),
 		byTag:    make(map[string]*Counter),
 	}
 }
@@ -94,6 +106,32 @@ func (m *Metrics) recordRecv(msg Message) {
 	c.add(msg.Size)
 }
 
+// recordDropped charges a message lost in flight (or delivered to a dead
+// node) to the dropped counters of the destination that missed it. The
+// message was already charged to the sender by recordSend; it must never
+// reach the received maps.
+func (m *Metrics) recordDropped(msg Message) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := phaseNode{m.phase, msg.To}
+	c := m.dropped[k]
+	if c == nil {
+		c = &Counter{}
+		m.dropped[k] = c
+	}
+	c.add(msg.Size)
+	m.totalDrop.add(msg.Size)
+}
+
+// recordLate tallies a message held beyond its synchrony bound by the
+// fault model, at actual delivery — a lagged message that dies at a
+// crashed destination is dropped, not late.
+func (m *Metrics) recordLate(msg Message) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.totalLate.add(msg.Size)
+}
+
 // Sent returns the sender-side counter for (phase, node).
 func (m *Metrics) Sent(phase string, node NodeID) Counter {
 	m.mu.Lock()
@@ -112,6 +150,40 @@ func (m *Metrics) Received(phase string, node NodeID) Counter {
 		return *c
 	}
 	return Counter{}
+}
+
+// Dropped returns the lost-traffic counter for (phase, destination node).
+func (m *Metrics) Dropped(phase string, node NodeID) Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c := m.dropped[phaseNode{phase, node}]; c != nil {
+		return *c
+	}
+	return Counter{}
+}
+
+// DroppedByNodes sums lost-traffic counters for a phase over a node set.
+func (m *Metrics) DroppedByNodes(phase string, nodes []NodeID) Counter {
+	var sum Counter
+	for _, id := range nodes {
+		sum.Add(m.Dropped(phase, id))
+	}
+	return sum
+}
+
+// DroppedTotal returns whole-simulation lost traffic.
+func (m *Metrics) DroppedTotal() Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.totalDrop
+}
+
+// LateTotal returns whole-simulation beyond-bound traffic (delivered, but
+// after the fault model's extra delay).
+func (m *Metrics) LateTotal() Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.totalLate
 }
 
 // SentByNodes sums sender-side counters for a phase over a node set.

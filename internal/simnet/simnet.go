@@ -10,6 +10,12 @@
 // messages and bytes per (phase, node), which the protocol layer aggregates
 // per role.
 //
+// A pluggable fault model (SetFaults) can additionally drop messages in
+// flight, delay them beyond the synchrony bound, or crash and rejoin nodes
+// on a schedule — see the Faults interface and the Loss, Lag, Partition,
+// Churn, and Composite implementations. Without a model (or with NoFaults)
+// the engine is byte-identical to a fault-free network.
+//
 // Events at the same virtual timestamp destined to different nodes are
 // independent and may be executed on a worker pool (SetParallelism);
 // deliveries they generate are merged in deterministic order, so a seeded
@@ -101,6 +107,7 @@ type event struct {
 	seq  uint64 // tie-break for determinism
 	kind eventKind
 	node NodeID // destination (message) or owner (timer)
+	late bool   // held beyond the synchrony bound by the fault model
 	msg  Message
 	fn   func(*Context)
 }
@@ -134,9 +141,11 @@ type Network struct {
 	events      eventHeap
 	handlers    map[NodeID]Handler
 	down        map[NodeID]bool // crashed/offline nodes drop all traffic
+	faults      Faults          // nil = fault-free (byte-identical to the pre-fault engine)
 	metrics     *Metrics
 	parallelism int
 	delivered   uint64
+	dropped     uint64
 }
 
 // New creates a network with the given latency model and seed.
@@ -175,6 +184,17 @@ func (n *Network) SetDown(id NodeID, down bool) {
 	n.down[id] = down
 }
 
+// SetFaults installs a fault model (nil or NoFaults restores the
+// fault-free engine, which is byte-identical to a network that never had
+// SetFaults called). Install before traffic starts; the model is read
+// without synchronisation during runs.
+func (n *Network) SetFaults(f Faults) {
+	if _, none := f.(NoFaults); none {
+		f = nil
+	}
+	n.faults = f
+}
+
 // Metrics exposes the traffic accounting.
 func (n *Network) Metrics() *Metrics { return n.metrics }
 
@@ -183,6 +203,10 @@ func (n *Network) Now() Time { return n.now }
 
 // Delivered returns the total number of messages delivered so far.
 func (n *Network) Delivered() uint64 { return n.delivered }
+
+// Dropped returns the number of messages lost to faults or dead
+// destinations so far.
+func (n *Network) Dropped() uint64 { return n.dropped }
 
 func (n *Network) push(ev *event) {
 	ev.seq = n.seq
@@ -216,9 +240,35 @@ func (n *Network) delay(from, to NodeID) Time {
 }
 
 func (n *Network) enqueueMessage(msg Message) {
+	if n.faults != nil {
+		n.enqueueWithFaults(msg)
+		return
+	}
 	n.metrics.recordSend(msg)
 	d := n.delay(msg.From, msg.To)
 	n.push(&event{at: n.now + d, kind: evMessage, node: msg.To, msg: msg})
+}
+
+// enqueueWithFaults is the fault-model send path. It is only entered when
+// a model is installed, so the fault-free engine stays byte-identical to
+// the pre-fault implementation (no extra RNG draws, no accounting calls).
+// Sends happen on one goroutine in deterministic order, so the model's
+// Fate may consume its own seeded RNG.
+func (n *Network) enqueueWithFaults(msg Message) {
+	if n.faults.Down(n.now, msg.From) {
+		return // a crashed sender transmits nothing
+	}
+	n.metrics.recordSend(msg)
+	fate := n.faults.Fate(n.now, msg.From, msg.To)
+	if fate.Drop {
+		n.metrics.recordDropped(msg)
+		n.dropped++
+		return
+	}
+	d := n.delay(msg.From, msg.To)
+	// Late is tallied at delivery (Step), not here: a lagged message that
+	// dies at a crashed destination counts as dropped, never as late.
+	n.push(&event{at: n.now + d + fate.Delay, kind: evMessage, node: msg.To, late: fate.Delay > 0, msg: msg})
 }
 
 // Context is the per-delivery effect buffer handed to handlers. Handlers
@@ -269,10 +319,28 @@ func (n *Network) Step() bool {
 	for n.events.Len() > 0 && n.events[0].at == t {
 		batch = append(batch, heap.Pop(&n.events).(*event))
 	}
+	// Dead-destination pre-pass: events owned by a node that is down
+	// (SetDown or the fault model's crash schedule) are skipped, and
+	// skipped messages are accounted as dropped — in deterministic batch
+	// order, before any (possibly parallel) execution. The slice stays nil
+	// on the fault-free path.
+	var skip []bool
+	if len(n.down) > 0 || n.faults != nil {
+		skip = make([]bool, len(batch))
+		for i, ev := range batch {
+			if n.down[ev.node] || (n.faults != nil && n.faults.Down(t, ev.node)) {
+				skip[i] = true
+				if ev.kind == evMessage {
+					n.metrics.recordDropped(ev.msg)
+					n.dropped++
+				}
+			}
+		}
+	}
 	ctxs := make([]*Context, len(batch))
 	run := func(i int) {
 		ev := batch[i]
-		if n.down[ev.node] {
+		if skip != nil && skip[i] {
 			return
 		}
 		ctx := &Context{Node: ev.node, now: t}
@@ -283,6 +351,9 @@ func (n *Network) Step() bool {
 				return
 			}
 			n.metrics.recordRecv(ev.msg)
+			if ev.late {
+				n.metrics.recordLate(ev.msg)
+			}
 			h(ctx, ev.msg)
 		case evTimer:
 			ev.fn(ctx)

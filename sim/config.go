@@ -46,6 +46,11 @@ type Config struct {
 	PreScreenCross   bool `json:"pre_screen_cross"`
 	Pipelined        bool `json:"pipelined"`
 	ParallelBlockGen bool `json:"parallel_block_gen"`
+
+	// Faults is the network fault model (message loss, beyond-bound lag,
+	// a healing partition, periodic churn); null is the fault-free engine.
+	// Sweep axes address its fields by dotted path, e.g. "faults.loss".
+	Faults *FaultsConfig `json:"faults"`
 }
 
 // DefaultConfig mirrors protocol.DefaultParams: 4 committees of 16 (λ = 3)
@@ -90,6 +95,7 @@ func (c Config) Params() (protocol.Params, error) {
 		PreScreenCross:    c.PreScreenCross,
 		Pipelined:         c.Pipelined,
 		ParallelBlockGen:  c.ParallelBlockGen,
+		Faults:            c.Faults.Clone(),
 	}, nil
 }
 
@@ -114,8 +120,12 @@ func ParseConfig(data []byte) (Config, error) {
 }
 
 // overlayJSON decodes data over an existing config, keeping values the
-// document does not mention.
+// document does not mention. The fault spec is deep-copied first: JSON
+// merges into existing pointers in place, and config values are copied
+// around freely (scenario presets, sweep bases), so decoding into a
+// shared *FaultsConfig would silently mutate every config holding it.
 func overlayJSON(c *Config, data []byte) error {
+	c.Faults = c.Faults.Clone()
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(c); err != nil {
@@ -156,6 +166,7 @@ func configFromParams(p protocol.Params) (Config, error) {
 		PreScreenCross:   p.PreScreenCross,
 		Pipelined:        p.Pipelined,
 		ParallelBlockGen: p.ParallelBlockGen,
+		Faults:           p.Faults.Clone(),
 	}, nil
 }
 

@@ -1,0 +1,137 @@
+package sim_test
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"cycledger/sim"
+)
+
+// runScenario builds the named scenario with extra options and runs it to
+// completion, returning the canonical JSON of its reports.
+func runScenario(t *testing.T, name string, extra ...sim.Option) string {
+	t.Helper()
+	scen, ok := sim.Lookup(name)
+	if !ok {
+		t.Fatalf("scenario %q not registered", name)
+	}
+	s, err := scen.New(extra...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestFaultScenarioDeterminism extends the determinism suite to the fault
+// scenarios: every seeded fault scenario must be byte-identical at any
+// simnet parallelism, in both the sequential and the pipelined engine.
+func TestFaultScenarioDeterminism(t *testing.T) {
+	for _, name := range []string{"lossy", "partition-heal", "churn"} {
+		for _, pipelined := range []bool{false, true} {
+			mode := "sequential"
+			if pipelined {
+				mode = "pipelined"
+			}
+			t.Run(name+"/"+mode, func(t *testing.T) {
+				want := runScenario(t, name, sim.WithPipeline(pipelined, 1))
+				for _, par := range []int{4, 0} { // 0 = GOMAXPROCS
+					if got := runScenario(t, name, sim.WithPipeline(pipelined, par)); got != want {
+						t.Fatalf("scenario %s diverged at parallelism %d", name, par)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFaultScenariosExerciseFaults: each registered fault scenario must
+// actually degrade the network — dropped traffic for loss and partitions,
+// at least one silence recovery or timeout verdict under churn.
+func TestFaultScenariosExerciseFaults(t *testing.T) {
+	for _, name := range []string{"lossy", "partition-heal", "churn"} {
+		t.Run(name, func(t *testing.T) {
+			scen, _ := sim.Lookup(name)
+			s, err := scen.New()
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports, err := s.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var dropped, tx uint64
+			for _, r := range reports {
+				dropped += r.Dropped
+				tx += uint64(r.Throughput())
+			}
+			if dropped == 0 {
+				t.Fatalf("scenario %s dropped no traffic", name)
+			}
+			if tx == 0 {
+				t.Fatalf("scenario %s committed nothing — degradation should be graceful", name)
+			}
+		})
+	}
+}
+
+// TestWithFaultsRejectsInvalidSpec: option-level validation fires before a
+// simulation is built.
+func TestWithFaultsRejectsInvalidSpec(t *testing.T) {
+	if _, err := sim.New(sim.WithFaults(sim.FaultsConfig{Loss: 1.5})); err == nil {
+		t.Fatal("WithFaults accepted loss probability 1.5")
+	}
+	if _, err := sim.New(sim.WithFaults(sim.FaultsConfig{Churn: &sim.ChurnSpec{Frac: 0.5}})); err == nil {
+		t.Fatal("WithFaults accepted churn with no period")
+	}
+}
+
+// TestFaultsConfigJSONRoundTrip: Config.Faults survives ToJSON/ParseConfig
+// and overlays merge leaf by leaf without clobbering sibling fields.
+func TestFaultsConfigJSONRoundTrip(t *testing.T) {
+	cfg, err := sim.Resolve(sim.WithFaults(sim.FaultsConfig{
+		Loss:      0.05,
+		Partition: &sim.PartitionSpec{Split: 0.5, HealTick: 200},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := cfg.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := sim.ParseConfig(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Faults == nil || back.Faults.Loss != 0.05 || back.Faults.Partition == nil ||
+		back.Faults.Partition.HealTick != 200 {
+		t.Fatalf("faults did not round-trip: %+v", back.Faults)
+	}
+
+	// Overlaying one leaf keeps the others.
+	merged, err := sim.Resolve(sim.FromConfig(cfg), sim.FromJSON([]byte(`{"faults":{"loss":0.1}}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Faults.Loss != 0.1 || merged.Faults.Partition == nil || merged.Faults.Partition.Split != 0.5 {
+		t.Fatalf("overlay clobbered sibling fault fields: %+v", merged.Faults)
+	}
+	// ...and never mutates the config it started from.
+	if cfg.Faults.Loss != 0.05 {
+		t.Fatalf("overlay mutated the shared base spec: %+v", cfg.Faults)
+	}
+
+	// Unknown fault fields are rejected like any other config typo.
+	if _, err := sim.Resolve(sim.FromJSON([]byte(`{"faults":{"losss":0.1}}`))); err == nil {
+		t.Fatal("unknown fault field accepted")
+	}
+}

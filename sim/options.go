@@ -111,6 +111,22 @@ func WithParallelBlockGen(on bool) Option {
 	return func(b *builder) error { b.cfg.ParallelBlockGen = on; return nil }
 }
 
+// WithFaults installs the network fault model: iid message loss,
+// beyond-bound lag, a two-group partition with a heal tick, and periodic
+// node churn (see FaultsConfig). An active model also arms the protocol's
+// silence watchdogs, so crashed or unreachable leaders are impeached and
+// phases that cannot conclude record timeout verdicts. The zero config is
+// the fault-free engine, byte-identical to never calling this option.
+func WithFaults(f FaultsConfig) Option {
+	return func(b *builder) error {
+		if err := f.Validate(); err != nil {
+			return err
+		}
+		b.cfg.Faults = f.Clone()
+		return nil
+	}
+}
+
 // WithObserver attaches an observer to the run; multiple observers fire in
 // attachment order. See the Observer interface for the callback contract.
 func WithObserver(o Observer) Option {

@@ -157,4 +157,35 @@ func init() {
 			WithAdversary(0.2, "invert", false),
 		},
 	})
+	// Fault-model scenarios: the network degrades, the protocol degrades
+	// gracefully — dropped traffic is accounted, silent leaders are
+	// impeached, and phases that cannot reach quorum conclude with
+	// timeout verdicts instead of wedging the round.
+	mustRegister(Scenario{
+		Name:        "lossy",
+		Description: "5% iid message loss: throughput dips, dropped traffic is accounted, quorums still carry the round",
+		Paper:       "§III-B network model under loss (this repo's fault extension)",
+		Options: []Option{
+			WithRounds(3),
+			WithFaults(FaultsConfig{Loss: 0.05}),
+		},
+	})
+	mustRegister(Scenario{
+		Name:        "partition-heal",
+		Description: "the population is split in half until tick 250, then heals: round 1 degrades with timeout verdicts, later rounds recover",
+		Paper:       "partition tolerance (this repo's fault extension)",
+		Options: []Option{
+			WithRounds(2),
+			WithFaults(FaultsConfig{Partition: &PartitionSpec{Split: 0.5, HealTick: 250}}),
+		},
+	})
+	mustRegister(Scenario{
+		Name:        "churn",
+		Description: "15% of nodes crash and rejoin on a staggered 500-tick cycle; silence watchdogs impeach crashed leaders mid-round",
+		Paper:       "§V-D recovery under crash faults (this repo's fault extension)",
+		Options: []Option{
+			WithRounds(3),
+			WithFaults(FaultsConfig{Churn: &ChurnSpec{Frac: 0.15, Period: 500, Downtime: 150}}),
+		},
+	})
 }

@@ -21,6 +21,15 @@ type (
 	RecoveryEvent = protocol.RecoveryEvent
 	// Behavior is a byzantine node's deviation profile.
 	Behavior = protocol.Behavior
+	// FaultsConfig describes the network fault model (WithFaults /
+	// Config.Faults): message loss, beyond-bound lag, partition, churn.
+	FaultsConfig = protocol.FaultsConfig
+	// PartitionSpec cuts the population in two groups until a heal tick.
+	PartitionSpec = protocol.PartitionSpec
+	// ChurnSpec crashes a node subset on a staggered periodic schedule.
+	ChurnSpec = protocol.ChurnSpec
+	// PhaseTimeout records a committee whose phase concluded by timeout.
+	PhaseTimeout = protocol.PhaseTimeout
 )
 
 // Sim is a configured simulation. Create one with New; a Sim runs its

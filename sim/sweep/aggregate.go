@@ -34,6 +34,15 @@ type Metrics struct {
 	// TicksPerRound is simulated round latency: the sum of phase spans on
 	// the sequential engine, the stage-graph critical path when Pipelined.
 	TicksPerRound float64 `json:"ticks_per_round"`
+	// DroppedPerRound is messages lost to the fault model per round
+	// (in flight or addressed to crashed nodes).
+	DroppedPerRound float64 `json:"dropped_per_round"`
+	// LatePerRound is messages delivered beyond their synchrony bound per
+	// round.
+	LatePerRound float64 `json:"late_per_round"`
+	// TimeoutsPerRound is phase-timeout verdicts (committees that could
+	// not conclude a phase with a quorum) per round.
+	TimeoutsPerRound float64 `json:"timeouts_per_round"`
 }
 
 // metricDefs fixes the metric identifiers and their canonical (writer
@@ -54,6 +63,9 @@ var metricDefs = []struct {
 	{"msgs_per_round", func(m Metrics) float64 { return m.MsgsPerRound }},
 	{"bytes_per_round", func(m Metrics) float64 { return m.BytesPerRound }},
 	{"ticks_per_round", func(m Metrics) float64 { return m.TicksPerRound }},
+	{"dropped_per_round", func(m Metrics) float64 { return m.DroppedPerRound }},
+	{"late_per_round", func(m Metrics) float64 { return m.LatePerRound }},
+	{"timeouts_per_round", func(m Metrics) float64 { return m.TimeoutsPerRound }},
 }
 
 // MetricNames returns the metric identifiers in canonical column order —
@@ -84,6 +96,9 @@ func Summarize(reports []*sim.RoundReport) Metrics {
 		m.MsgsPerRound += float64(r.Messages)
 		m.BytesPerRound += float64(r.Bytes)
 		m.TicksPerRound += float64(r.Duration)
+		m.DroppedPerRound += float64(r.Dropped)
+		m.LatePerRound += float64(r.Late)
+		m.TimeoutsPerRound += float64(len(r.Timeouts))
 	}
 	n := float64(len(reports))
 	m.Rounds = len(reports)
@@ -97,6 +112,9 @@ func Summarize(reports []*sim.RoundReport) Metrics {
 	m.MsgsPerRound /= n
 	m.BytesPerRound /= n
 	m.TicksPerRound /= n
+	m.DroppedPerRound /= n
+	m.LatePerRound /= n
+	m.TimeoutsPerRound /= n
 	return m
 }
 

@@ -45,10 +45,12 @@ import (
 
 // An Axis sweeps one sim.Config field, named by its JSON tag ("m", "c",
 // "cross_frac", "malicious_frac", "pipelined", "behavior", …), over a list
-// of values. Values use the field's JSON representation: numbers for
-// numeric fields, booleans for toggles, strings for behaviour and scheme
-// names. The "seed" field cannot be an axis — replication over seeds is
-// what Grid.Seeds does.
+// of values. Nested fields are addressed by dotted path — "faults.loss",
+// "faults.churn.frac" — and overlay only the named leaf, keeping the rest
+// of the nested object from the base config. Values use the field's JSON
+// representation: numbers for numeric fields, booleans for toggles,
+// strings for behaviour and scheme names. The "seed" field cannot be an
+// axis — replication over seeds is what Grid.Seeds does.
 type Axis struct {
 	Field  string `json:"field"`
 	Values []any  `json:"values"`
@@ -244,7 +246,7 @@ func (g Grid) pointConfig(p int) (sim.Config, []Value, error) {
 	}
 	cfg := g.Base
 	for _, lv := range labels {
-		doc, err := json.Marshal(map[string]any{lv.Field: lv.Value})
+		doc, err := json.Marshal(axisDoc(lv.Field, lv.Value))
 		if err != nil {
 			return sim.Config{}, nil, fmt.Errorf("sweep: axis %q value %s: %w", lv.Field, FormatValue(lv.Value), err)
 		}
@@ -255,6 +257,18 @@ func (g Grid) pointConfig(p int) (sim.Config, []Value, error) {
 		cfg = next
 	}
 	return cfg, labels, nil
+}
+
+// axisDoc builds the one-field overlay document for an axis coordinate.
+// Dotted fields nest: "faults.loss" becomes {"faults":{"loss":v}}, which
+// the JSON overlay merges into the base config's fault spec leaf by leaf.
+func axisDoc(field string, v any) map[string]any {
+	parts := strings.Split(field, ".")
+	doc := map[string]any{parts[len(parts)-1]: v}
+	for i := len(parts) - 2; i >= 0; i-- {
+		doc = map[string]any{parts[i]: doc}
+	}
+	return doc
 }
 
 // deriveSeed maps (base seed, replicate) to a simulation seed. Replicate 0

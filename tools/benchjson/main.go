@@ -10,11 +10,24 @@
 //	go run ./tools/benchjson -baseline BENCH_prev.json -note "PR 5"
 //	go run ./tools/benchjson -bench 'BenchmarkRoundHotPath$' -benchtime 1x
 //	go run ./tools/benchjson -input ci-bench.log -out BENCH_round.json
+//	go run ./tools/benchjson -input ci-bench.log -check BENCH_round.json
 //
 // With -input a previously captured transcript is parsed instead of
 // running go test (useful for converting CI logs or archived runs). The
 // benchmark output is echoed to stderr while it runs; only the JSON
 // document goes to -out (or stdout with -out -).
+//
+// With -check the run additionally enforces the EXPERIMENTS.md
+// no-regression contract against the given committed document: the tool
+// exits 1 when any benchmark's allocs/op or ticks/round exceeds the
+// committed value by more than -check-tol, and also when no benchmark
+// names match at all (a renamed bench must not silently disable the
+// gate). ns/op is never gated (CI hardware is noise); the tolerance
+// absorbs the allocation jitter of short -benchtime runs and the
+// seed-averaging difference between CI's 1x smoke runs and the committed
+// 3x measurements. The committed document is read before anything is
+// written, and `-check` without an explicit `-out` is gate-only (writes
+// nothing), so checking against BENCH_round.json never clobbers it.
 package main
 
 import (
@@ -43,6 +56,8 @@ func main() {
 	baseline := flag.String("baseline", "", "prior document to compute deltas against (optional)")
 	note := flag.String("note", "", "free-form note stored in the document")
 	input := flag.String("input", "", "parse this saved go-test transcript instead of running benchmarks")
+	check := flag.String("check", "", "fail (exit 1) when allocs/op or ticks/round regress vs this committed document")
+	checkTol := flag.Float64("check-tol", 0.10, "relative tolerance for -check comparisons (0.10 = 10%)")
 	flag.Parse()
 
 	var (
@@ -114,19 +129,67 @@ func main() {
 		doc.ApplyBaseline(base)
 	}
 
-	w := os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
+	// The check document is read BEFORE anything is written: -out defaults
+	// to BENCH_round.json, so a bare `-check BENCH_round.json` run would
+	// otherwise clobber the committed contract and then compare the fresh
+	// run against itself. When -check is given without an explicit -out,
+	// the run is gate-only and writes nothing.
+	var committed *perfbench.Document
+	if *check != "" {
+		f, err := os.Open(*check)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		defer f.Close()
-		w = f
+		c, err := perfbench.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		committed = &c
 	}
-	if err := perfbench.WriteJSON(w, doc); err != nil {
-		fatalf("writing document: %v", err)
+	outSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "out" {
+			outSet = true
+		}
+	})
+	if *check == "" || outSet {
+		w := os.Stdout
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := perfbench.WriteJSON(w, doc); err != nil {
+			fatalf("writing document: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) → %s\n", len(results), *out)
+	} else {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s), gate-only (-check without -out writes no document)\n", len(results))
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) → %s\n", len(results), *out)
+
+	if committed != nil {
+		regs, compared := perfbench.Regressions(doc, *committed, *checkTol)
+		if compared == 0 {
+			// A gate that compares nothing is a broken gate, not a pass: a
+			// benchmark rename or log-format drift must fail loudly so the
+			// committed document gets regenerated alongside it.
+			fatalf("-check %s matched no benchmark names (run has %d, baseline has %d) — regenerate the committed document",
+				*check, len(doc.Benchmarks), len(committed.Benchmarks))
+		}
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: regression vs %s (EXPERIMENTS.md no-regression contract):\n", *check)
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: no regression vs %s (%d benchmark(s) compared, tolerance %.0f%%)\n",
+			*check, compared, *checkTol*100)
+	}
 }
 
 func fatalf(format string, args ...any) {
