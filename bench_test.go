@@ -20,6 +20,7 @@ package cycledger_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"cycledger/internal/analysis"
@@ -409,6 +410,104 @@ func BenchmarkRoundHotPath(b *testing.B) {
 	b.ReportMetric(ticks/float64(b.N), "ticks/round")
 	if ticks > 0 {
 		b.ReportMetric(float64(tput)/ticks, "tx/tick")
+	}
+}
+
+// BenchmarkScaleCeiling measures the simulator core at the ROADMAP's
+// scale ceiling: committee-shaped traffic (leader broadcast, member
+// votes, leader→referee results, a sprinkling of timers) on topologies
+// stepped from the paper's scale (m=20, c=97, n=2000) to 10× (m=200,
+// n≈19.5k), at full parallelism. One op is one synthetic round. The
+// protocol layer is deliberately absent — this isolates the simnet core
+// (calendar queue, event/Context pools, lane-sharded metrics, persistent
+// worker pool), whose contract is ≤ 1 amortized allocation per delivered
+// message; allocs/msg reports the measured value. ticks/round is
+// deterministic for the fixed seed, so benchjson gates it alongside
+// allocs/op.
+func BenchmarkScaleCeiling(b *testing.B) {
+	const cSize, refSize = 97, 60
+	for _, sc := range []struct {
+		name string
+		m    int
+	}{{"1x", 20}, {"4x", 80}, {"10x", 200}} {
+		sc := sc
+		b.Run("scale="+sc.name, func(b *testing.B) {
+			m := sc.m
+			refBase := m * cSize
+			total := refBase + refSize
+			classify := func(from, to simnet.NodeID) simnet.LinkClass {
+				fRef, tRef := int(from) >= refBase, int(to) >= refBase
+				if fRef && tRef {
+					return simnet.LinkIntra
+				}
+				if !fRef && !tRef && int(from)/cSize == int(to)/cSize {
+					return simnet.LinkIntra
+				}
+				fKey := fRef || int(from)%cSize == 0
+				tKey := tRef || int(to)%cSize == 0
+				if fKey && tKey {
+					return simnet.LinkKey
+				}
+				return simnet.LinkPartial
+			}
+			lat := simnet.Latency{Delta: 10, Gamma: 40, PartialMax: 100, Classify: classify}
+			net := simnet.New(lat, 1)
+			net.SetParallelism(0) // GOMAXPROCS lanes
+			for id := 0; id < total; id++ {
+				id := simnet.NodeID(id)
+				net.Register(id, func(ctx *simnet.Context, msg simnet.Message) {
+					switch msg.Tag {
+					case "PROPOSE":
+						ctx.Send(msg.From, "VOTE", nil, 64)
+						if int(id)%29 == 0 {
+							ctx.After(5, func(c *simnet.Context) {
+								c.Send(msg.From, "ECHO", nil, 16)
+							})
+						}
+					}
+				})
+			}
+			committee := make([]simnet.NodeID, cSize-1)
+			round := func() {
+				for k := 0; k < m; k++ {
+					leader := simnet.NodeID(k * cSize)
+					for i := range committee {
+						committee[i] = leader + 1 + simnet.NodeID(i)
+					}
+					for _, to := range committee {
+						net.Send(leader, to, "PROPOSE", nil, 128)
+					}
+					for r := 0; r < 3; r++ {
+						net.Send(leader, simnet.NodeID(refBase+(k+r)%refSize), "RESULT", nil, 256)
+					}
+				}
+				net.RunUntilIdle()
+			}
+			// Warm pools, maps, and bucket capacities until allocation
+			// steady state: map growth keeps allocating incrementally for a
+			// few rounds after the key set is complete, and the -benchtime
+			// 1x CI smoke run must measure the same steady state the
+			// committed 3x file does.
+			for w := 0; w < 3; w++ {
+				round()
+			}
+			var ms0, ms1 runtime.MemStats
+			msgs0 := net.Metrics().Total().Messages
+			ticks0 := net.Now()
+			runtime.ReadMemStats(&ms0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				round()
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&ms1)
+			msgs := net.Metrics().Total().Messages - msgs0
+			b.ReportMetric(float64(msgs)/float64(b.N), "msgs/round")
+			b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(msgs), "allocs/msg")
+			b.ReportMetric(float64(net.Now()-ticks0)/float64(b.N), "ticks/round")
+			b.ReportMetric(float64(total), "nodes")
+		})
 	}
 }
 

@@ -4,6 +4,7 @@
 //	go run ./cmd/figures -fig 5            # committee failure probability
 //	go run ./cmd/figures -fig partialset   # (1/3)^λ security curve (§V-C)
 //	go run ./cmd/figures -fig throughput   # measured tx/round vs committee count m
+//	go run ./cmd/figures -fig resilience   # throughput + drops + timeouts vs message loss
 package main
 
 import (
@@ -19,7 +20,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "4", "figure to emit: 4, 5, partialset, epochs, or throughput")
+	fig := flag.String("fig", "4", "figure to emit: 4, 5, partialset, epochs, throughput, or resilience")
 	n := flag.Int64("n", 2000, "population for fig 5")
 	t := flag.Int64("t", 666, "malicious nodes for fig 5")
 	rounds := flag.Int("rounds", 2, "rounds per point for the throughput sweep")
@@ -80,6 +81,34 @@ func main() {
 		for _, p := range res.Points {
 			fmt.Printf("%d,%d,%.1f,%.0f\n", p.Config.M, p.Config.TotalNodes(),
 				p.Stats["tx_per_round"].Mean, p.Stats["msgs_per_round"].Mean)
+		}
+	case "resilience":
+		// Throughput and the round-report resilience counters (drops,
+		// beyond-bound deliveries, phase timeouts) as message loss rises —
+		// one sweep over the fault model's loss axis.
+		base, err := sim.Resolve(
+			sim.WithTopology(2, 16, 3, 9),
+			sim.WithRounds(*rounds),
+		)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		g := sweep.Grid{
+			Base:  base,
+			Axes:  []sweep.Axis{{Field: "faults.loss", Values: []any{0.0, 0.02, 0.05, 0.1, 0.15, 0.2}}},
+			Seeds: *seeds,
+		}
+		res, err := sweep.Run(context.Background(), g)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Println("loss,tx_per_round,dropped_per_round,late_per_round,timeouts_per_round")
+		for _, p := range res.Points {
+			fmt.Printf("%v,%.1f,%.1f,%.1f,%.2f\n", p.Labels[0].Value,
+				p.Stats["tx_per_round"].Mean, p.Stats["dropped_per_round"].Mean,
+				p.Stats["late_per_round"].Mean, p.Stats["timeouts_per_round"].Mean)
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "figures: unknown figure", *fig)

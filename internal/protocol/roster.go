@@ -51,6 +51,26 @@ type Roster struct {
 
 	roles map[simnet.NodeID]Role
 	comOf map[simnet.NodeID]uint64
+
+	// Cached role-index slices. Accessors used to rebuild these on every
+	// call — an O(n) scan per lookup that dominated recipient fan-outs at
+	// large rosters. They are built lazily and invalidated whenever
+	// membership changes; callers must treat the returned slices as
+	// read-only (every in-repo consumer only ranges over them).
+	cCommittees [][]simnet.NodeID
+	cKeyMembers [][]simnet.NodeID
+	cAllKey     []simnet.NodeID
+	cAllNodes   []simnet.NodeID
+	cCommons    []simnet.NodeID
+}
+
+// invalidate drops the cached role indexes after a membership change.
+func (r *Roster) invalidate() {
+	r.cCommittees = nil
+	r.cKeyMembers = nil
+	r.cAllKey = nil
+	r.cAllNodes = nil
+	r.cCommons = nil
 }
 
 func newRoster(round uint64, randomness crypto.Digest, m uint64) *Roster {
@@ -71,24 +91,28 @@ func (r *Roster) setReferee(ids []simnet.NodeID) {
 	for _, id := range ids {
 		r.roles[id] = RoleReferee
 	}
+	r.invalidate()
 }
 
 func (r *Roster) setLeader(k uint64, id simnet.NodeID) {
 	r.Leaders[k] = id
 	r.roles[id] = RoleLeader
 	r.comOf[id] = k
+	r.invalidate()
 }
 
 func (r *Roster) addPartial(k uint64, id simnet.NodeID) {
 	r.Partials[k] = append(r.Partials[k], id)
 	r.roles[id] = RolePartial
 	r.comOf[id] = k
+	r.invalidate()
 }
 
 func (r *Roster) addCommon(k uint64, id simnet.NodeID) {
 	r.Commons[k] = append(r.Commons[k], id)
 	r.roles[id] = RoleCommon
 	r.comOf[id] = k
+	r.invalidate()
 }
 
 // RoleOf returns the node's role (RoleIdle if absent).
@@ -106,47 +130,80 @@ func (r *Roster) CommitteeOf(id simnet.NodeID) (uint64, bool) {
 }
 
 // Committee returns every member of committee k (leader first, then
-// partial set, then commons), sorted within each group.
+// partial set, then commons), sorted within each group. The slice is a
+// cached index rebuilt only after membership changes; treat it as
+// read-only.
 func (r *Roster) Committee(k uint64) []simnet.NodeID {
-	out := []simnet.NodeID{r.Leaders[k]}
-	out = append(out, r.Partials[k]...)
-	out = append(out, r.Commons[k]...)
-	return out
+	if r.cCommittees == nil {
+		r.cCommittees = make([][]simnet.NodeID, r.M)
+	}
+	if r.cCommittees[k] == nil {
+		out := make([]simnet.NodeID, 0, 1+len(r.Partials[k])+len(r.Commons[k]))
+		out = append(out, r.Leaders[k])
+		out = append(out, r.Partials[k]...)
+		out = append(out, r.Commons[k]...)
+		r.cCommittees[k] = out
+	}
+	return r.cCommittees[k]
 }
 
-// KeyMembers returns committee k's leader and partial set.
+// KeyMembers returns committee k's leader and partial set. The slice is a
+// cached index; treat it as read-only.
 func (r *Roster) KeyMembers(k uint64) []simnet.NodeID {
-	out := []simnet.NodeID{r.Leaders[k]}
-	return append(out, r.Partials[k]...)
+	if r.cKeyMembers == nil {
+		r.cKeyMembers = make([][]simnet.NodeID, r.M)
+	}
+	if r.cKeyMembers[k] == nil {
+		out := make([]simnet.NodeID, 0, 1+len(r.Partials[k]))
+		out = append(out, r.Leaders[k])
+		out = append(out, r.Partials[k]...)
+		r.cKeyMembers[k] = out
+	}
+	return r.cKeyMembers[k]
 }
 
 // AllKeyMembers returns the leaders and partial-set members of every
 // committee — the node set with Γ-bounded links in the network model.
+// The slice is a cached index; treat it as read-only.
 func (r *Roster) AllKeyMembers() []simnet.NodeID {
-	var out []simnet.NodeID
-	for k := uint64(0); k < r.M; k++ {
-		out = append(out, r.KeyMembers(k)...)
+	if r.cAllKey == nil {
+		var out []simnet.NodeID
+		for k := uint64(0); k < r.M; k++ {
+			out = append(out, r.KeyMembers(k)...)
+		}
+		if out == nil {
+			out = []simnet.NodeID{}
+		}
+		r.cAllKey = out
 	}
-	return out
+	return r.cAllKey
 }
 
-// AllNodes returns every participating node this round.
+// AllNodes returns every participating node this round. The slice is a
+// cached index; treat it as read-only.
 func (r *Roster) AllNodes() []simnet.NodeID {
-	out := make([]simnet.NodeID, 0, len(r.roles))
-	for id := range r.roles {
-		out = append(out, id)
+	if r.cAllNodes == nil {
+		out := make([]simnet.NodeID, 0, len(r.roles))
+		for id := range r.roles {
+			out = append(out, id)
+		}
+		simnet.SortNodeIDs(out)
+		r.cAllNodes = out
 	}
-	simnet.SortNodeIDs(out)
-	return out
+	return r.cAllNodes
 }
 
-// CommonsOfAll returns all common members across committees.
+// CommonsOfAll returns all common members across committees. The slice is
+// a cached index; treat it as read-only.
 func (r *Roster) CommonsOfAll() []simnet.NodeID {
-	var out []simnet.NodeID
-	for _, cs := range r.Commons {
-		out = append(out, cs...)
+	if r.cCommons == nil {
+		out := []simnet.NodeID{}
+		for _, cs := range r.Commons {
+			out = append(out, cs...)
+		}
+		r.cCommons = out
 	}
-	return out
+	return r.cCommons
 }
 
 // ReplaceLeader installs a new leader for committee k after a recovery
@@ -165,6 +222,7 @@ func (r *Roster) ReplaceLeader(k uint64, evicted, successor simnet.NodeID) {
 	r.roles[evicted] = RoleCommon
 	r.Commons[k] = append(r.Commons[k], evicted)
 	sort.Slice(r.Commons[k], func(i, j int) bool { return r.Commons[k][i] < r.Commons[k][j] })
+	r.invalidate()
 }
 
 // linkClass classifies a link for the latency model: intra-committee (or

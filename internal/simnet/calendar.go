@@ -1,0 +1,116 @@
+package simnet
+
+import "container/heap"
+
+// calQueue is a calendar queue specialised for the simulator's access
+// pattern: virtual time only moves forward, almost every event is
+// scheduled within the synchrony bounds of the current tick, and Step
+// always drains one whole tick at a time.
+//
+// Near-future events live in a power-of-two ring of per-tick buckets
+// covering (base, base+nbucket]; pushing and popping them is a slice
+// append and a slice swap, with no comparisons. Events beyond the horizon
+// (fault-model lag, long watchdog timers) overflow into a small binary
+// heap. Because seq numbers are assigned in push order, a bucket is
+// already seq-sorted; when a tick's events span both the bucket and the
+// overflow heap, popBatch merges the two seq-sorted streams so the batch
+// order is byte-identical to a single binary heap's (at, seq) pop order.
+type calQueue struct {
+	base      Time // last popped tick; every live event is strictly later
+	mask      Time
+	nbucket   Time
+	inBuckets int
+	buckets   [][]*event
+	overflow  eventHeap
+}
+
+// newCalQueue sizes the ring to cover the given near-future horizon
+// (rounded up to a power of two, clamped to [256, 8192] ticks).
+func newCalQueue(horizon Time) *calQueue {
+	nb := Time(256)
+	for nb < horizon && nb < 8192 {
+		nb <<= 1
+	}
+	return &calQueue{
+		mask:    nb - 1,
+		nbucket: nb,
+		buckets: make([][]*event, nb),
+	}
+}
+
+func (q *calQueue) len() int { return q.inBuckets + len(q.overflow) }
+
+// push files an event under its tick. The caller has already assigned
+// ev.seq, so bucket append order is seq order. Ticks at or before base
+// cannot occur (all schedule paths add ≥ 1 to the current time), but the
+// overflow heap handles them correctly if a custom driver ever does.
+func (q *calQueue) push(ev *event) {
+	if d := ev.at - q.base; d >= 1 && d <= q.nbucket {
+		idx := ev.at & q.mask
+		q.buckets[idx] = append(q.buckets[idx], ev)
+		q.inBuckets++
+		return
+	}
+	heap.Push(&q.overflow, ev)
+}
+
+// peek returns the earliest pending tick. The bucket scan is bounded by
+// the ring size and touches only slice headers, which in practice is far
+// cheaper than maintaining heap order for every message.
+func (q *calQueue) peek() (Time, bool) {
+	bt := Time(-1)
+	if q.inBuckets > 0 {
+		for d := Time(1); d <= q.nbucket; d++ {
+			if len(q.buckets[(q.base+d)&q.mask]) > 0 {
+				bt = q.base + d
+				break
+			}
+		}
+	}
+	if len(q.overflow) > 0 && (bt < 0 || q.overflow[0].at < bt) {
+		return q.overflow[0].at, true
+	}
+	if bt < 0 {
+		return 0, false
+	}
+	return bt, true
+}
+
+// popBatch appends every event scheduled at tick t to out, in seq order,
+// and advances base to t. The emptied bucket keeps its capacity so
+// steady-state traffic never reallocates.
+func (q *calQueue) popBatch(t Time, out []*event) []*event {
+	var bucket []*event
+	idx := Time(-1)
+	if q.inBuckets > 0 && t > q.base && t-q.base <= q.nbucket {
+		idx = t & q.mask
+		bucket = q.buckets[idx]
+	}
+	if len(q.overflow) > 0 && q.overflow[0].at == t {
+		// Rare: the tick also has far-scheduled events. Merge the two
+		// seq-sorted streams to preserve heap-identical batch order.
+		bi := 0
+		for len(q.overflow) > 0 && q.overflow[0].at == t {
+			ov := q.overflow[0]
+			for bi < len(bucket) && bucket[bi].seq < ov.seq {
+				out = append(out, bucket[bi])
+				bi++
+			}
+			out = append(out, heap.Pop(&q.overflow).(*event))
+		}
+		out = append(out, bucket[bi:]...)
+	} else {
+		out = append(out, bucket...)
+	}
+	if idx >= 0 {
+		q.inBuckets -= len(bucket)
+		for i := range bucket {
+			bucket[i] = nil
+		}
+		q.buckets[idx] = bucket[:0]
+	}
+	if t > q.base {
+		q.base = t
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package simnet
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// TestCalendarQueueMatchesHeapOrder drives the calendar queue and the old
+// binary heap with identical randomized schedules and asserts both pop
+// the exact same (at, seq) sequence, batch by batch. Delays straddle the
+// bucket horizon so the overflow heap and the same-tick bucket/overflow
+// merge are exercised, not just the ring fast path.
+func TestCalendarQueueMatchesHeapOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		q := newCalQueue(200) // rounds up to a 256-tick ring
+		var h eventHeap
+		seq := uint64(0)
+		now := Time(0)
+		push := func(at Time) {
+			q.push(&event{at: at, seq: seq})
+			heap.Push(&h, &event{at: at, seq: seq})
+			seq++
+		}
+		pop := func() bool {
+			bt, ok := q.peek()
+			if !ok {
+				if h.Len() != 0 {
+					t.Fatalf("trial %d: calendar empty, heap still holds %d events", trial, h.Len())
+				}
+				return false
+			}
+			if h.Len() == 0 || h[0].at != bt {
+				t.Fatalf("trial %d: calendar peek %d disagrees with heap", trial, bt)
+			}
+			batch := q.popBatch(bt, nil)
+			if len(batch) == 0 {
+				t.Fatalf("trial %d: peek reported tick %d but batch is empty", trial, bt)
+			}
+			for _, ev := range batch {
+				want := heap.Pop(&h).(*event)
+				if want.at != ev.at || want.seq != ev.seq {
+					t.Fatalf("trial %d: calendar popped (at=%d,seq=%d), heap (at=%d,seq=%d)",
+						trial, ev.at, ev.seq, want.at, want.seq)
+				}
+			}
+			if h.Len() > 0 && h[0].at == bt {
+				t.Fatalf("trial %d: calendar batch at tick %d missed events the heap still holds", trial, bt)
+			}
+			now = bt
+			return true
+		}
+		for round := 0; round < 300; round++ {
+			for i, k := 0, rng.Intn(8); i < k; i++ {
+				// Delays up to ~2.3× the ring span: far pushes land in the
+				// overflow and collide with bucketed ticks as now advances.
+				push(now + Time(rng.Int63n(600)) + 1)
+			}
+			pop()
+		}
+		for pop() {
+		}
+	}
+}
+
+// TestCalendarQueueBucketReuse: a drained bucket keeps its capacity, so a
+// steady push/pop cycle at the same relative offset does not allocate.
+func TestCalendarQueueBucketReuse(t *testing.T) {
+	q := newCalQueue(64)
+	now := Time(0)
+	seq := uint64(0)
+	evs := [4]*event{{}, {}, {}, {}}
+	out := make([]*event, 0, 8)
+	cycle := func() {
+		for i, ev := range evs {
+			ev.at, ev.seq = now+Time(1+i%2), seq
+			seq++
+			q.push(ev)
+		}
+		for q.len() > 0 {
+			bt, _ := q.peek()
+			out = q.popBatch(bt, out[:0])
+			now = bt
+		}
+	}
+	// Warm every ring bucket to the cycle's batch size (several full laps).
+	for i := 0; i < 500; i++ {
+		cycle()
+	}
+	allocs := testing.AllocsPerRun(200, cycle)
+	if allocs > 0 {
+		t.Fatalf("steady-state calendar cycle allocates %.1f/run, want 0", allocs)
+	}
+}

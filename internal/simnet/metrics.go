@@ -48,6 +48,85 @@ type Metrics struct {
 	total     Counter
 	totalDrop Counter
 	totalLate Counter
+	// lanes are the per-worker receive shards; lane i is written
+	// exclusively by the worker running lane i of the current batch and
+	// folded into the maps above by mergeLanes on the single-threaded
+	// path. Send-side accounting never goes through lanes: sends happen
+	// only during effect application, which is single-threaded.
+	lanes []laneShard
+}
+
+// laneShard accumulates one worker lane's receiver-side traffic for the
+// current batch without locks. Entries persist across batches (zeroed,
+// not deleted, at merge) so steady-state recording allocates nothing;
+// touched lists the nodes with live counts this batch.
+type laneShard struct {
+	entries map[NodeID]*laneEntry
+	touched []NodeID
+	late    Counter
+}
+
+type laneEntry struct {
+	recv   Counter
+	active bool
+}
+
+func (s *laneShard) recordRecv(msg Message) {
+	e := s.entries[msg.To]
+	if e == nil {
+		e = &laneEntry{}
+		s.entries[msg.To] = e
+	}
+	if !e.active {
+		e.active = true
+		s.touched = append(s.touched, msg.To)
+	}
+	e.recv.add(msg.Size)
+}
+
+func (s *laneShard) recordLate(msg Message) {
+	s.late.add(msg.Size)
+}
+
+// ensureLanes grows the shard set to at least k lanes. Called by the
+// Network before dispatching a batch, never concurrently with workers.
+func (m *Metrics) ensureLanes(k int) {
+	if k < 1 {
+		k = 1
+	}
+	for len(m.lanes) < k {
+		m.lanes = append(m.lanes, laneShard{entries: make(map[NodeID]*laneEntry)})
+	}
+}
+
+// mergeLanes folds every lane shard into the shared maps. It runs after
+// each batch on the single-threaded path; the phase is constant within a
+// batch (SetPhase only happens between drains) and the merge is a sum of
+// commutative counters, so the result is deterministic no matter how the
+// parallel lanes interleaved.
+func (m *Metrics) mergeLanes() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for li := range m.lanes {
+		s := &m.lanes[li]
+		for _, id := range s.touched {
+			e := s.entries[id]
+			k := phaseNode{m.phase, id}
+			c := m.received[k]
+			if c == nil {
+				c = &Counter{}
+				m.received[k] = c
+			}
+			c.Add(e.recv)
+			e.recv = Counter{}
+			e.active = false
+		}
+		s.touched = s.touched[:0]
+		if s.late.Messages > 0 {
+			m.totalLate.Add(s.late)
+			s.late = Counter{}
+		}
+	}
 }
 
 // NewMetrics returns empty accounting.
@@ -94,18 +173,6 @@ func (m *Metrics) recordSend(msg Message) {
 	m.total.add(msg.Size)
 }
 
-func (m *Metrics) recordRecv(msg Message) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	k := phaseNode{m.phase, msg.To}
-	c := m.received[k]
-	if c == nil {
-		c = &Counter{}
-		m.received[k] = c
-	}
-	c.add(msg.Size)
-}
-
 // recordDropped charges a message lost in flight (or delivered to a dead
 // node) to the dropped counters of the destination that missed it. The
 // message was already charged to the sender by recordSend; it must never
@@ -121,15 +188,6 @@ func (m *Metrics) recordDropped(msg Message) {
 	}
 	c.add(msg.Size)
 	m.totalDrop.add(msg.Size)
-}
-
-// recordLate tallies a message held beyond its synchrony bound by the
-// fault model, at actual delivery — a lagged message that dies at a
-// crashed destination is dropped, not late.
-func (m *Metrics) recordLate(msg Message) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.totalLate.add(msg.Size)
 }
 
 // Sent returns the sender-side counter for (phase, node).
@@ -163,10 +221,15 @@ func (m *Metrics) Dropped(phase string, node NodeID) Counter {
 }
 
 // DroppedByNodes sums lost-traffic counters for a phase over a node set.
+// The lock is taken once for the whole set, not once per node.
 func (m *Metrics) DroppedByNodes(phase string, nodes []NodeID) Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var sum Counter
 	for _, id := range nodes {
-		sum.Add(m.Dropped(phase, id))
+		if c := m.dropped[phaseNode{phase, id}]; c != nil {
+			sum.Add(*c)
+		}
 	}
 	return sum
 }
@@ -186,22 +249,37 @@ func (m *Metrics) LateTotal() Counter {
 	return m.totalLate
 }
 
-// SentByNodes sums sender-side counters for a phase over a node set.
+// SentByNodes sums sender-side counters for a phase over a node set. The
+// lock is taken once for the whole set, not once per node — Table II
+// aggregation walks full rosters, which at large scale made per-node
+// locking the dominant cost of report collection.
 func (m *Metrics) SentByNodes(phase string, nodes []NodeID) Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var sum Counter
 	for _, id := range nodes {
-		sum.Add(m.Sent(phase, id))
+		if c := m.sent[phaseNode{phase, id}]; c != nil {
+			sum.Add(*c)
+		}
 	}
 	return sum
 }
 
 // TrafficByNodes sums sent+received counters for a phase over a node set —
-// the "communication complexity" of the role in that phase.
+// the "communication complexity" of the role in that phase. The lock is
+// taken once for the whole set.
 func (m *Metrics) TrafficByNodes(phase string, nodes []NodeID) Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var sum Counter
 	for _, id := range nodes {
-		sum.Add(m.Sent(phase, id))
-		sum.Add(m.Received(phase, id))
+		k := phaseNode{phase, id}
+		if c := m.sent[k]; c != nil {
+			sum.Add(*c)
+		}
+		if c := m.received[k]; c != nil {
+			sum.Add(*c)
+		}
 	}
 	return sum
 }
@@ -235,7 +313,9 @@ func (m *Metrics) Total() Counter {
 	return m.total
 }
 
-// Phases lists phase labels that saw traffic, sorted.
+// Phases lists phase labels that saw traffic, sorted. A phase counts as
+// having seen traffic when anything was sent, received, or dropped under
+// its label — a phase whose every message was lost still shows up.
 func (m *Metrics) Phases() []string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -244,6 +324,9 @@ func (m *Metrics) Phases() []string {
 		set[k.phase] = true
 	}
 	for k := range m.received {
+		set[k.phase] = true
+	}
+	for k := range m.dropped {
 		set[k.phase] = true
 	}
 	out := make([]string, 0, len(set))

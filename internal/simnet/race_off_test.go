@@ -1,0 +1,5 @@
+//go:build !race
+
+package simnet
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package simnet
+
+// raceEnabled lets allocation-counting tests skip under the race
+// detector, whose shadow-memory bookkeeping perturbs alloc counts.
+const raceEnabled = true

@@ -1,0 +1,253 @@
+package simnet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// The 10× paper-scale topology used by the determinism tests: 200
+// committees of 97 plus a 60-member referee set (the paper's m=20, c=97,
+// RefSize=60 stepped ×10 on m), with the §III-B link classes.
+const (
+	scaleComs  = 200
+	scaleCSize = 97
+	scaleRef   = 60
+	scaleTotal = scaleComs*scaleCSize + scaleRef
+)
+
+func scaleClassify(from, to NodeID) LinkClass {
+	fRef, tRef := from >= scaleComs*scaleCSize, to >= scaleComs*scaleCSize
+	if fRef && tRef {
+		return LinkIntra
+	}
+	if !fRef && !tRef && int(from)/scaleCSize == int(to)/scaleCSize {
+		return LinkIntra
+	}
+	// Committee member 0 is the "leader", 1..3 the "partial set".
+	fKey := fRef || int(from)%scaleCSize < 4
+	tKey := tRef || int(to)%scaleCSize < 4
+	if fKey && tKey {
+		return LinkKey
+	}
+	return LinkPartial
+}
+
+// runScale10x builds the 10×-scale network, seeds committee-shaped
+// gossip, drains it, and returns a fingerprint over every observable the
+// determinism contract covers: clock, delivery counts, totals, and the
+// full per-node sent/received counter maps.
+func runScale10x(t *testing.T, parallelism int, shuffleReg bool) string {
+	t.Helper()
+	lat := Latency{Delta: 10, Gamma: 40, PartialMax: 100, Classify: scaleClassify}
+	n := New(lat, 42)
+	n.SetParallelism(parallelism)
+
+	handler := func(id NodeID) Handler {
+		return func(ctx *Context, msg Message) {
+			if msg.Size <= 1 {
+				return
+			}
+			// Deterministic fan-out to two pseudo-random peers.
+			for j := 0; j < 2; j++ {
+				to := NodeID((int(id)*31 + j*7919 + msg.Size*131) % scaleTotal)
+				ctx.Send(to, "gossip", nil, msg.Size-1)
+			}
+			if msg.Size == 3 {
+				ctx.After(Time(int(id)%7+1), func(c *Context) {
+					c.Send(NodeID((int(c.Node)+1)%scaleTotal), "timer", nil, 1)
+				})
+			}
+		}
+	}
+
+	ids := make([]NodeID, scaleTotal)
+	for i := range ids {
+		ids[i] = NodeID(i)
+	}
+	if shuffleReg {
+		rand.New(rand.NewSource(99)).Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	}
+	for _, id := range ids {
+		n.Register(id, handler(id))
+	}
+
+	// Every leader seeds a depth-6 wave into its committee and a
+	// cross-committee wave to the next leader.
+	for k := 0; k < scaleComs; k++ {
+		leader := NodeID(k * scaleCSize)
+		n.Send(leader, leader+1, "seed", nil, 6)
+		n.Send(leader, NodeID(((k+1)%scaleComs)*scaleCSize), "seed", nil, 5)
+	}
+	n.RunUntilIdle()
+
+	h := fnv.New64a()
+	fmt.Fprintf(h, "t=%d delivered=%d dropped=%d total=%v late=%v;",
+		n.Now(), n.Delivered(), n.Dropped(), n.Metrics().Total(), n.Metrics().LateTotal())
+	for id := NodeID(0); id < scaleTotal; id++ {
+		s := n.Metrics().Sent("init", id)
+		r := n.Metrics().Received("init", id)
+		if s.Messages|s.Bytes|r.Messages|r.Bytes != 0 {
+			fmt.Fprintf(h, "%d:%d,%d,%d,%d;", id, s.Messages, s.Bytes, r.Messages, r.Bytes)
+		}
+	}
+	return fmt.Sprintf("%x (delivered=%d)", h.Sum64(), n.Delivered())
+}
+
+// TestScaleDeterminism10x: at the 10× paper-scale topology, a seeded run
+// is byte-identical at parallelism 1, parallelism GOMAXPROCS, and with
+// the node registration order shuffled.
+func TestScaleDeterminism10x(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10×-scale topology in -short mode")
+	}
+	sequential := runScale10x(t, 1, false)
+	parallel := runScale10x(t, runtime.GOMAXPROCS(0), false)
+	shuffled := runScale10x(t, runtime.GOMAXPROCS(0), true)
+	if sequential != parallel {
+		t.Errorf("parallel run diverged:\n par=1: %s\n par=N: %s", sequential, parallel)
+	}
+	if sequential != shuffled {
+		t.Errorf("shuffled-registration run diverged:\n ordered:  %s\n shuffled: %s", sequential, shuffled)
+	}
+}
+
+// TestEventPoolReuseRace exercises event and Context recycling under
+// maximum parallelism — the -race CI job runs it to prove a pooled
+// object is never touched by a worker after the single-threaded path
+// reclaimed it. The expected delivery count pins the semantics.
+func TestEventPoolReuseRace(t *testing.T) {
+	lat := DefaultLatency()
+	n := New(lat, 7)
+	n.SetParallelism(8)
+	const nodes = 64
+	for i := 0; i < nodes; i++ {
+		id := NodeID(i)
+		n.Register(id, func(ctx *Context, msg Message) {
+			if msg.Size <= 1 {
+				return
+			}
+			ctx.Send(NodeID((int(id)+1)%nodes), "ring", nil, msg.Size-1)
+			ctx.After(1, func(c *Context) {
+				c.Send(NodeID((int(c.Node)+2)%nodes), "hop", nil, 1)
+			})
+		})
+	}
+	const depth = 50
+	for i := 0; i < nodes; i++ {
+		n.Send(NodeID(i), NodeID((i+1)%nodes), "ring", nil, depth)
+	}
+	n.RunUntilIdle()
+	// Each seed spawns a depth-long chain; every chain hop past size 1
+	// also schedules one timer which sends one more message.
+	wantMsgs := uint64(nodes * (depth + (depth - 1)))
+	wantTimers := uint64(nodes * (depth - 1))
+	if got := n.Delivered(); got != wantMsgs+wantTimers {
+		t.Fatalf("delivered %d events, want %d", got, wantMsgs+wantTimers)
+	}
+	if got := n.Metrics().Total().Messages; got != wantMsgs {
+		t.Fatalf("sent %d messages, want %d", got, wantMsgs)
+	}
+}
+
+// TestPhasesIncludeDroppedOnly: a phase whose only traffic was lost (here
+// messages delivered to a crashed node while the "blackout" label was
+// active) still appears in Metrics.Phases.
+func TestPhasesIncludeDroppedOnly(t *testing.T) {
+	n := New(DefaultLatency(), 3)
+	n.Register(0, func(*Context, Message) {})
+	n.Register(1, func(*Context, Message) {})
+	n.SetDown(1, true)
+	n.Metrics().SetPhase("send")
+	n.Send(0, 1, "doomed", nil, 9)
+	n.Metrics().SetPhase("blackout")
+	n.RunUntilIdle()
+	phases := n.Metrics().Phases()
+	found := false
+	for _, p := range phases {
+		if p == "blackout" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Phases() = %v, want it to include dropped-only phase %q", phases, "blackout")
+	}
+	if c := n.Metrics().Dropped("blackout", 1); c.Messages != 1 || c.Bytes != 9 {
+		t.Fatalf("Dropped(blackout, 1) = %+v, want 1 msg / 9 bytes", c)
+	}
+}
+
+// TestSetDownRecoveryNoSkipAlloc is the SetDown(id, false) regression
+// test: recovery must delete the down entry (not store false), so a
+// fully recovered network takes the fault-free fast path and a warm
+// steady-state Step allocates nothing — no per-Step skip slice, no
+// event/Context churn.
+func TestSetDownRecoveryNoSkipAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is unreliable under -race")
+	}
+	n := New(DefaultLatency(), 11)
+	bounce := func(ctx *Context, msg Message) {
+		if msg.Size > 1 {
+			ctx.Send(msg.From, "pong", nil, msg.Size-1)
+		}
+	}
+	n.Register(0, bounce)
+	n.Register(1, bounce)
+
+	// Crash node 1, lose some traffic, then bring it back.
+	n.SetDown(1, true)
+	n.Send(0, 1, "ping", nil, 3)
+	n.RunUntilIdle()
+	if n.Dropped() == 0 {
+		t.Fatal("down node dropped nothing")
+	}
+	n.SetDown(1, false)
+	if len(n.down) != 0 {
+		t.Fatalf("after full recovery len(n.down) = %d, want 0 (false entries must be deleted)", len(n.down))
+	}
+
+	// Warm the pools and maps, then require a zero-allocation steady state.
+	for i := 0; i < 400; i++ {
+		n.Send(0, 1, "ping", nil, 4)
+		n.RunUntilIdle()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		n.Send(0, 1, "ping", nil, 4)
+		n.RunUntilIdle()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Step after recovery allocates %.1f/run, want 0", allocs)
+	}
+}
+
+// TestSetDownRecoveryWithFaultsNoSkipAlloc: with a fault model installed
+// the dead-destination pre-pass always runs, but the skip buffer is
+// reused — steady-state Steps still allocate nothing once warm.
+func TestSetDownRecoveryWithFaultsNoSkipAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is unreliable under -race")
+	}
+	n := New(DefaultLatency(), 13)
+	n.SetFaults(NewLoss(0, 1)) // installed but lossless: pre-pass active every Step
+	bounce := func(ctx *Context, msg Message) {
+		if msg.Size > 1 {
+			ctx.Send(msg.From, "pong", nil, msg.Size-1)
+		}
+	}
+	n.Register(0, bounce)
+	n.Register(1, bounce)
+	for i := 0; i < 400; i++ {
+		n.Send(0, 1, "ping", nil, 4)
+		n.RunUntilIdle()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		n.Send(0, 1, "ping", nil, 4)
+		n.RunUntilIdle()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Step with idle fault model allocates %.1f/run, want 0", allocs)
+	}
+}

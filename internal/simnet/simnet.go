@@ -20,10 +20,17 @@
 // independent and may be executed on a worker pool (SetParallelism);
 // deliveries they generate are merged in deterministic order, so a seeded
 // run produces identical results at any parallelism level.
+//
+// The core is built for the ROADMAP's 10k–100k-node scale ceiling: events
+// flow through a per-tick calendar queue (calendar.go) and are recycled
+// via free lists, receiver-side metrics accumulate in per-lane shards
+// merged after each batch (metrics.go), and parallel batches run on a
+// persistent process-wide worker pool (workers.go) with node→lane
+// assignment precomputed at Register time. Steady-state message traffic
+// allocates nothing.
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -112,6 +119,8 @@ type event struct {
 	fn   func(*Context)
 }
 
+// eventHeap orders events by (at, seq). It backs the calendar queue's
+// far-future overflow and serves as the ordering oracle in tests.
 type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
@@ -132,56 +141,124 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
+// nodeSlot is the dense per-node table entry: the handler plus the
+// worker-lane assignment precomputed at Register/SetParallelism time, so
+// Step needs no per-batch map or order slice to group events.
+type nodeSlot struct {
+	h    Handler
+	lane int32
+}
+
 // Network is the simulator instance.
 type Network struct {
 	latency     Latency
 	rng         *rand.Rand
 	now         Time
 	seq         uint64
-	events      eventHeap
-	handlers    map[NodeID]Handler
+	q           *calQueue
+	slots       []nodeSlot      // handler + lane per node, indexed by NodeID
 	down        map[NodeID]bool // crashed/offline nodes drop all traffic
 	faults      Faults          // nil = fault-free (byte-identical to the pre-fault engine)
 	metrics     *Metrics
 	parallelism int
 	delivered   uint64
 	dropped     uint64
+
+	// Reusable per-step scratch and free lists (see ARCHITECTURE.md,
+	// "Sharded simnet core"): batch/ctxs/skip/laneIdx are truncated, never
+	// freed, and events/Contexts cycle through freeEv/freeCtx, so a warm
+	// network delivers messages without allocating.
+	batch   []*event
+	ctxs    []*Context
+	skip    []bool
+	curSkip []bool // nil unless this batch has skipped events
+	laneIdx [][]int32
+	stepWG  sync.WaitGroup
+	freeEv  []*event
+	freeCtx []*Context
 }
 
 // New creates a network with the given latency model and seed.
 func New(latency Latency, seed int64) *Network {
-	n := &Network{
-		latency:     latency,
-		rng:         rand.New(rand.NewSource(seed)),
-		handlers:    make(map[NodeID]Handler),
-		down:        make(map[NodeID]bool),
-		metrics:     NewMetrics(),
+	h := latency.PartialMax
+	if latency.Gamma > h {
+		h = latency.Gamma
+	}
+	if latency.Delta > h {
+		h = latency.Delta
+	}
+	return &Network{
+		latency: latency,
+		rng:     rand.New(rand.NewSource(seed)),
+		down:    make(map[NodeID]bool),
+		metrics: NewMetrics(),
+		// Cover the protocol's timer horizon (up to 4Γ phase guards and 6Δ
+		// watchdog sweeps) so only fault-model lag overflows to the heap.
+		q:           newCalQueue(4*h + 64),
 		parallelism: 1,
 	}
-	heap.Init(&n.events)
-	return n
 }
 
-// SetParallelism sets the worker count for same-timestamp event batches.
-// k ≤ 0 selects GOMAXPROCS.
+// SetParallelism sets the worker-lane count for same-timestamp event
+// batches. k ≤ 0 selects GOMAXPROCS. Lane assignments of already
+// registered nodes are recomputed, so call order against Register does
+// not matter.
 func (n *Network) SetParallelism(k int) {
 	if k <= 0 {
 		k = runtime.GOMAXPROCS(0)
 	}
 	n.parallelism = k
+	for id := range n.slots {
+		n.slots[id].lane = int32(id % k)
+	}
 }
 
 // Register installs the handler for a node. Re-registering replaces it
-// (used when a node changes role between rounds).
+// (used when a node changes role between rounds). The node's worker lane
+// is precomputed here: a stable modulo hash of the ID, so grouping a
+// batch by lane is a single indexed lookup per event.
 func (n *Network) Register(id NodeID, h Handler) {
-	n.handlers[id] = h
+	if id < 0 {
+		panic("simnet: Register with negative NodeID")
+	}
+	for int(id) >= len(n.slots) {
+		n.slots = append(n.slots, nodeSlot{lane: int32(len(n.slots) % n.parallelism)})
+	}
+	n.slots[id].h = h
+}
+
+func (n *Network) handlerOf(id NodeID) Handler {
+	if id >= 0 && int(id) < len(n.slots) {
+		return n.slots[id].h
+	}
+	return nil
+}
+
+// laneFor returns the node's worker lane under the given lane count —
+// the precomputed slot value on the hot path, the same modulo hash for
+// unregistered IDs.
+func (n *Network) laneFor(id NodeID, lanes int) int {
+	if id >= 0 && int(id) < len(n.slots) {
+		return int(n.slots[id].lane)
+	}
+	l := int(id) % lanes
+	if l < 0 {
+		l += lanes
+	}
+	return l
 }
 
 // SetDown marks a node offline (true) or online (false). Offline nodes
 // silently drop incoming messages and their timers do not fire — the
-// paper's "simply pretending to be offline" behaviour.
+// paper's "simply pretending to be offline" behaviour. Recovery deletes
+// the entry, so a fully recovered network runs the fault-free fast path
+// again (no dead-destination pre-pass per Step).
 func (n *Network) SetDown(id NodeID, down bool) {
-	n.down[id] = down
+	if down {
+		n.down[id] = true
+	} else {
+		delete(n.down, id)
+	}
 }
 
 // SetFaults installs a fault model (nil or NoFaults restores the
@@ -211,7 +288,42 @@ func (n *Network) Dropped() uint64 { return n.dropped }
 func (n *Network) push(ev *event) {
 	ev.seq = n.seq
 	n.seq++
-	heap.Push(&n.events, ev)
+	n.q.push(ev)
+}
+
+// newEvent takes an event from the free list (or allocates the first
+// time). Events return to the list at the end of the Step that delivered
+// them, after all their effects are applied.
+func (n *Network) newEvent() *event {
+	if k := len(n.freeEv) - 1; k >= 0 {
+		ev := n.freeEv[k]
+		n.freeEv[k] = nil
+		n.freeEv = n.freeEv[:k]
+		return ev
+	}
+	return &event{}
+}
+
+func (n *Network) freeEvent(ev *event) {
+	*ev = event{} // drop payload/fn references before pooling
+	n.freeEv = append(n.freeEv, ev)
+}
+
+func (n *Network) newContext(node NodeID, t Time) *Context {
+	if k := len(n.freeCtx) - 1; k >= 0 {
+		c := n.freeCtx[k]
+		n.freeCtx[k] = nil
+		n.freeCtx = n.freeCtx[:k]
+		c.Node, c.now = node, t
+		return c
+	}
+	return &Context{Node: node, now: t}
+}
+
+func (n *Network) freeContext(c *Context) {
+	clear(c.out) // drop payload references, keep capacity
+	c.out = c.out[:0]
+	n.freeCtx = append(n.freeCtx, c)
 }
 
 // Send enqueues a message from outside any handler (e.g. test drivers and
@@ -225,7 +337,9 @@ func (n *Network) After(node NodeID, d Time, fn func(*Context)) {
 	if d < 1 {
 		d = 1
 	}
-	n.push(&event{at: n.now + d, kind: evTimer, node: node, fn: fn})
+	ev := n.newEvent()
+	ev.at, ev.kind, ev.node, ev.fn = n.now+d, evTimer, node, fn
+	n.push(ev)
 }
 
 func (n *Network) delay(from, to NodeID) Time {
@@ -246,7 +360,9 @@ func (n *Network) enqueueMessage(msg Message) {
 	}
 	n.metrics.recordSend(msg)
 	d := n.delay(msg.From, msg.To)
-	n.push(&event{at: n.now + d, kind: evMessage, node: msg.To, msg: msg})
+	ev := n.newEvent()
+	ev.at, ev.kind, ev.node, ev.msg = n.now+d, evMessage, msg.To, msg
+	n.push(ev)
 }
 
 // enqueueWithFaults is the fault-model send path. It is only entered when
@@ -268,7 +384,9 @@ func (n *Network) enqueueWithFaults(msg Message) {
 	d := n.delay(msg.From, msg.To)
 	// Late is tallied at delivery (Step), not here: a lagged message that
 	// dies at a crashed destination counts as dropped, never as late.
-	n.push(&event{at: n.now + d + fate.Delay, kind: evMessage, node: msg.To, late: fate.Delay > 0, msg: msg})
+	ev := n.newEvent()
+	ev.at, ev.kind, ev.node, ev.late, ev.msg = n.now+d+fate.Delay, evMessage, msg.To, fate.Delay > 0, msg
+	n.push(ev)
 }
 
 // Context is the per-delivery effect buffer handed to handlers. Handlers
@@ -310,92 +428,101 @@ func (c *Context) After(d Time, fn func(*Context)) {
 // Step processes every event scheduled at the earliest pending timestamp.
 // It returns false when no events remain.
 func (n *Network) Step() bool {
-	if n.events.Len() == 0 {
+	t, ok := n.q.peek()
+	if !ok {
 		return false
 	}
-	t := n.events[0].at
+	n.stepAt(t)
+	return true
+}
+
+// stepAt runs the batch at tick t (which peek reported as earliest).
+func (n *Network) stepAt(t Time) {
 	n.now = t
-	var batch []*event
-	for n.events.Len() > 0 && n.events[0].at == t {
-		batch = append(batch, heap.Pop(&n.events).(*event))
-	}
+	n.batch = n.q.popBatch(t, n.batch[:0])
+	batch := n.batch
+
 	// Dead-destination pre-pass: events owned by a node that is down
 	// (SetDown or the fault model's crash schedule) are skipped, and
 	// skipped messages are accounted as dropped — in deterministic batch
-	// order, before any (possibly parallel) execution. The slice stays nil
-	// on the fault-free path.
-	var skip []bool
+	// order, before any (possibly parallel) execution. curSkip stays nil
+	// on the fault-free path; the buffer is reused across Steps.
+	n.curSkip = nil
 	if len(n.down) > 0 || n.faults != nil {
-		skip = make([]bool, len(batch))
+		if cap(n.skip) < len(batch) {
+			n.skip = make([]bool, len(batch))
+		}
+		skip := n.skip[:len(batch)]
+		hit := false
 		for i, ev := range batch {
-			if n.down[ev.node] || (n.faults != nil && n.faults.Down(t, ev.node)) {
-				skip[i] = true
+			s := n.down[ev.node] || (n.faults != nil && n.faults.Down(t, ev.node))
+			skip[i] = s
+			if s {
+				hit = true
 				if ev.kind == evMessage {
 					n.metrics.recordDropped(ev.msg)
 					n.dropped++
 				}
 			}
 		}
-	}
-	ctxs := make([]*Context, len(batch))
-	run := func(i int) {
-		ev := batch[i]
-		if skip != nil && skip[i] {
-			return
+		if hit {
+			n.curSkip = skip
 		}
-		ctx := &Context{Node: ev.node, now: t}
-		switch ev.kind {
-		case evMessage:
-			h, ok := n.handlers[ev.node]
-			if !ok {
-				return
-			}
-			n.metrics.recordRecv(ev.msg)
-			if ev.late {
-				n.metrics.recordLate(ev.msg)
-			}
-			h(ctx, ev.msg)
-		case evTimer:
-			ev.fn(ctx)
-		}
-		ctxs[i] = ctx
 	}
 
-	if n.parallelism > 1 && len(batch) > 1 {
-		// Events in a batch target distinct deliveries; group by node so
-		// one node's handler never runs concurrently with itself.
-		byNode := make(map[NodeID][]int)
-		var order []NodeID
+	if cap(n.ctxs) < len(batch) {
+		n.ctxs = make([]*Context, len(batch))
+	}
+	n.ctxs = n.ctxs[:len(batch)]
+	for i, ev := range batch {
+		if n.curSkip != nil && n.curSkip[i] {
+			n.ctxs[i] = nil
+			continue
+		}
+		n.ctxs[i] = n.newContext(ev.node, t)
+	}
+
+	lanes := n.parallelism
+	n.metrics.ensureLanes(lanes)
+	if lanes > 1 && len(batch) > 1 {
+		// Group by precomputed lane. A node's events always land in its one
+		// lane and each lane runs its events in batch (seq) order, so
+		// per-lane execution preserves the old per-node serialisation.
+		if cap(n.laneIdx) < lanes {
+			n.laneIdx = make([][]int32, lanes)
+		}
+		n.laneIdx = n.laneIdx[:lanes]
+		for l := range n.laneIdx {
+			n.laneIdx[l] = n.laneIdx[l][:0]
+		}
+		active := 0
 		for i, ev := range batch {
-			if _, seen := byNode[ev.node]; !seen {
-				order = append(order, ev.node)
+			l := n.laneFor(ev.node, lanes)
+			if len(n.laneIdx[l]) == 0 {
+				active++
 			}
-			byNode[ev.node] = append(byNode[ev.node], i)
+			n.laneIdx[l] = append(n.laneIdx[l], int32(i))
 		}
-		sem := make(chan struct{}, n.parallelism)
-		var wg sync.WaitGroup
-		for _, id := range order {
-			idxs := byNode[id]
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(idxs []int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				for _, i := range idxs {
-					run(i)
-				}
-			}(idxs)
+		n.stepWG.Add(active)
+		for l := range n.laneIdx {
+			if len(n.laneIdx[l]) > 0 {
+				submitLane(laneTask{net: n, lane: l, wg: &n.stepWG})
+			}
 		}
-		wg.Wait()
+		n.stepWG.Wait()
 	} else {
 		for i := range batch {
-			run(i)
+			n.runEvent(i, 0)
 		}
 	}
+	// Fold the lanes' receiver-side shards into the shared maps — the
+	// merge is commutative sums on the single-threaded path, so totals are
+	// deterministic regardless of how lanes interleaved.
+	n.metrics.mergeLanes()
 
 	// Apply effects in deterministic (event seq) order. Delivery counts
 	// for sends happen here so the metrics order is deterministic too.
-	for _, ctx := range ctxs {
+	for i, ctx := range n.ctxs {
 		if ctx == nil {
 			continue
 		}
@@ -405,14 +532,55 @@ func (n *Network) Step() bool {
 				if d < 1 {
 					d = 1
 				}
-				n.push(&event{at: t + d, kind: evTimer, node: ctx.Node, fn: ef.fn})
+				ev := n.newEvent()
+				ev.at, ev.kind, ev.node, ev.fn = t+d, evTimer, ctx.Node, ef.fn
+				n.push(ev)
 			} else {
 				n.enqueueMessage(ef.msg)
 			}
 		}
+		n.freeContext(ctx)
+		n.ctxs[i] = nil
+	}
+	for i, ev := range batch {
+		n.freeEvent(ev)
+		batch[i] = nil
 	}
 	n.delivered += uint64(len(batch))
-	return true
+}
+
+// runEvent executes one batch event on the given metrics lane. It runs on
+// pool workers during parallel batches: it reads only batch-immutable
+// state, writes only its own event's Context and its lane's metrics
+// shard, and buffers all sends/timers in the Context.
+func (n *Network) runEvent(i, lane int) {
+	ev := n.batch[i]
+	if n.curSkip != nil && n.curSkip[i] {
+		return
+	}
+	switch ev.kind {
+	case evMessage:
+		h := n.handlerOf(ev.node)
+		if h == nil {
+			return
+		}
+		sh := &n.metrics.lanes[lane]
+		sh.recordRecv(ev.msg)
+		if ev.late {
+			sh.recordLate(ev.msg)
+		}
+		h(n.ctxs[i], ev.msg)
+	case evTimer:
+		ev.fn(n.ctxs[i])
+	}
+}
+
+// runLane executes the current batch's events assigned to one lane, in
+// batch order.
+func (n *Network) runLane(lane int) {
+	for _, i := range n.laneIdx[lane] {
+		n.runEvent(int(i), lane)
+	}
 }
 
 // Run processes events until the queue is empty or virtual time would
@@ -420,11 +588,12 @@ func (n *Network) Step() bool {
 // processed.
 func (n *Network) Run(until Time) uint64 {
 	start := n.delivered
-	for n.events.Len() > 0 {
-		if until > 0 && n.events[0].at > until {
+	for {
+		t, ok := n.q.peek()
+		if !ok || (until > 0 && t > until) {
 			break
 		}
-		n.Step()
+		n.stepAt(t)
 	}
 	return n.delivered - start
 }
@@ -433,11 +602,11 @@ func (n *Network) Run(until Time) uint64 {
 func (n *Network) RunUntilIdle() uint64 { return n.Run(0) }
 
 // Pending returns the number of queued events (for tests).
-func (n *Network) Pending() int { return n.events.Len() }
+func (n *Network) Pending() int { return n.q.len() }
 
 // String summarises the simulator state.
 func (n *Network) String() string {
-	return fmt.Sprintf("simnet{t=%d, pending=%d, delivered=%d}", n.now, n.events.Len(), n.delivered)
+	return fmt.Sprintf("simnet{t=%d, pending=%d, delivered=%d}", n.now, n.q.len(), n.delivered)
 }
 
 // Sort helper used by higher layers for canonical node sets.

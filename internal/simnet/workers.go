@@ -1,0 +1,52 @@
+package simnet
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The simulator used to spawn a goroutine per node group on every Step.
+// At 10× paper scale that is tens of thousands of goroutine launches per
+// tick. Instead, a single process-wide pool of persistent workers serves
+// every Network: a Step publishes its batch state, submits one task per
+// non-empty lane, and waits. Sharing one pool across Networks (sweeps
+// create thousands of them) means no per-Network goroutines to leak and
+// no finalizer bookkeeping; a task holds its Network only for the
+// duration of one lane run.
+//
+// Determinism is unaffected by the worker count: lane assignment is a
+// pure function of NodeID and the Network's parallelism (see laneFor),
+// lanes execute their events in batch (seq) order, and all effects are
+// buffered and applied on the single-threaded path afterwards. Workers
+// never submit tasks, so pool starvation cannot deadlock.
+type laneTask struct {
+	net  *Network
+	lane int
+	wg   *sync.WaitGroup
+}
+
+var (
+	poolOnce  sync.Once
+	poolTasks chan laneTask
+)
+
+func submitLane(t laneTask) {
+	poolOnce.Do(startPool)
+	poolTasks <- t
+}
+
+func startPool() {
+	w := runtime.GOMAXPROCS(0)
+	if w < 2 {
+		w = 2
+	}
+	poolTasks = make(chan laneTask, 4*w)
+	for i := 0; i < w; i++ {
+		go func() {
+			for t := range poolTasks {
+				t.net.runLane(t.lane)
+				t.wg.Done()
+			}
+		}()
+	}
+}

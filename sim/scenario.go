@@ -101,6 +101,16 @@ func init() {
 		},
 	})
 	mustRegister(Scenario{
+		Name:        "scale-10x",
+		Description: "the ROADMAP scale ceiling: the paper's geometry with 10× the committees (m = 200, n ≈ 19.5k) on the sharded simnet core (very heavy: use few rounds and full parallelism)",
+		Paper:       "§III-D scalability, extrapolated ×10",
+		Options: []Option{
+			WithTopology(200, 97, 40, 60),
+			WithWorkload(100, 1.0/3, 0),
+			WithPipeline(false, 0),
+		},
+	})
+	mustRegister(Scenario{
 		Name:        "leader-fault",
 		Description: "every bootstrap leader equivocates and conceals cross-shard lists; recovery evicts them mid-round",
 		Paper:       "§V-D, Algorithm 6 / Fig. 6",

@@ -19,8 +19,8 @@ import (
 func TestScenarioGolden(t *testing.T) {
 	for _, scen := range sim.List() {
 		t.Run(scen.Name, func(t *testing.T) {
-			if scen.Name == "paper-scale" && os.Getenv("CYCLEDGER_PAPER_SCALE") == "" {
-				t.Skip("set CYCLEDGER_PAPER_SCALE=1 to golden-test the n=2000 scenario")
+			if (scen.Name == "paper-scale" || scen.Name == "scale-10x") && os.Getenv("CYCLEDGER_PAPER_SCALE") == "" {
+				t.Skip("set CYCLEDGER_PAPER_SCALE=1 to golden-test the paper-scale and 10×-scale scenarios")
 			}
 			cfg, err := scen.Config()
 			if err != nil {
