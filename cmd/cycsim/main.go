@@ -10,6 +10,7 @@
 //	go run ./cmd/cycsim -scenario leader-fault -json
 //	go run ./cmd/cycsim -scenario dos-prescreen -rounds 5
 //	go run ./cmd/cycsim -config run.json -seed 7
+//	go run ./cmd/cycsim -transport live -rounds 3
 //	go run ./cmd/cycsim -list-scenarios
 //
 // With -sweep (repeatable) or -sweep-file the resolved configuration
@@ -65,6 +66,7 @@ func main() {
 	par := flag.Int("parallel", def.Parallelism, "simnet worker pool size (0 = GOMAXPROCS)")
 	pipelined := flag.Bool("pipelined", def.Pipelined, "run rounds as a concurrent stage pipeline (§IV overlap)")
 	scheme := flag.String("scheme", def.Scheme, "signature scheme: hash|ed25519")
+	transport := flag.String("transport", def.Transport, "network transport: sim (deterministic simulator) | live (concurrent node processes; fault-free scenarios only)")
 	top := flag.Int("top", 5, "reputation leaderboard size")
 
 	var sweepAxes []sweep.Axis
@@ -159,6 +161,7 @@ func main() {
 	applyIf("parallel", func() { cfg.Parallelism = *par })
 	applyIf("pipelined", func() { cfg.Pipelined = *pipelined })
 	applyIf("scheme", func() { cfg.Scheme = *scheme })
+	applyIf("transport", func() { cfg.Transport = *transport })
 	// A command-line -malicious without -behavior keeps the old CLI's
 	// default of vote inversion. The fallback is scoped to the flag layer:
 	// a scenario or config file that sets a positive fraction without a
@@ -291,6 +294,7 @@ func runText(ctx context.Context, cfg sim.Config, top int) {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	defer s.Close()
 	fmt.Printf("cycsim: n=%d nodes, m=%d committees of c=%d (λ=%d), |C_R|=%d, %d rounds\n\n",
 		cfg.TotalNodes(), cfg.M, cfg.C, cfg.Lambda, cfg.RefSize, cfg.Rounds)
 
@@ -336,6 +340,7 @@ func runJSON(ctx context.Context, cfg sim.Config, top int) {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	defer s.Close()
 	reports, runErr := s.Run(ctx)
 	if reports == nil {
 		reports = []*sim.RoundReport{} // keep "rounds" an array even when nothing completed

@@ -104,10 +104,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "figures:", err)
 			os.Exit(1)
 		}
-		fmt.Println("loss,tx_per_round,dropped_per_round,late_per_round,timeouts_per_round")
+		fmt.Println("loss,tx_per_round,dropped_per_round,dropped_bytes_per_round,late_per_round,timeouts_per_round")
 		for _, p := range res.Points {
-			fmt.Printf("%v,%.1f,%.1f,%.1f,%.2f\n", p.Labels[0].Value,
+			fmt.Printf("%v,%.1f,%.1f,%.0f,%.1f,%.2f\n", p.Labels[0].Value,
 				p.Stats["tx_per_round"].Mean, p.Stats["dropped_per_round"].Mean,
+				p.Stats["dropped_bytes_per_round"].Mean,
 				p.Stats["late_per_round"].Mean, p.Stats["timeouts_per_round"].Mean)
 		}
 	default:

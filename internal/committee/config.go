@@ -84,7 +84,7 @@ func (cn *ConfigNode) Start(ctx *simnet.Context) {
 	}
 	req := JoinRequest{Rec: cn.Self}
 	for _, km := range cn.KeyMembers {
-		ctx.Send(km.Node, TagConfig, req, 4+32+crypto.HashSize+64)
+		ctx.Send(km.Node, TagConfig, req, req.WireSize())
 	}
 }
 
@@ -103,7 +103,7 @@ func (cn *ConfigNode) Handle(ctx *simnet.Context, msg simnet.Message) bool {
 		// Respond with the current list, then add the joiner
 		// (Algorithm 2: "responds the current list back, and adds").
 		resp := MemListMsg{Records: cn.S.Records()}
-		ctx.Send(req.Rec.Node, TagMemList, resp, cn.S.WireSize())
+		ctx.Send(req.Rec.Node, TagMemList, resp, resp.WireSize())
 		cn.S.Add(req.Rec)
 	case TagMemList:
 		resp, ok := msg.Payload.(MemListMsg)
@@ -119,7 +119,8 @@ func (cn *ConfigNode) Handle(ctx *simnet.Context, msg simnet.Message) bool {
 			cn.S.Add(rec)
 			if rec.Node != cn.Self.Node && !cn.introduced[rec.Node] {
 				cn.introduced[rec.Node] = true
-				ctx.Send(rec.Node, TagMember, JoinRequest{Rec: cn.Self}, 4+32+crypto.HashSize+64)
+				intro := JoinRequest{Rec: cn.Self}
+				ctx.Send(rec.Node, TagMember, intro, intro.WireSize())
 			}
 		}
 	case TagMember:

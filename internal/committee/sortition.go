@@ -134,9 +134,3 @@ func (d *Directory) canonical() [][]byte {
 func (d *Directory) SemiCommitment() crypto.Digest {
 	return crypto.H(append([][]byte{[]byte("cycledger/semicom/v1")}, d.canonical()...)...)
 }
-
-// WireSize approximates the member list's size in bytes for traffic
-// accounting (node id + public key per record).
-func (d *Directory) WireSize() int {
-	return len(d.records) * (4 + 32)
-}

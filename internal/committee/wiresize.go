@@ -1,0 +1,24 @@
+package committee
+
+// Exact wire sizes for the configuration-protocol messages, mirroring the
+// internal/wire codec byte for byte (see the conventions note in
+// internal/consensus/wiresize.go). Every size includes the type's own
+// 2-byte codec tag.
+
+// WireSize returns the record's exact encoded size: node ID, length-
+// prefixed public key, sortition hash, and length-prefixed proof.
+func (r MemberRecord) WireSize() int {
+	return 2 + 4 + (4 + len(r.PK)) + 32 + (4 + len(r.Proof))
+}
+
+// WireSize returns the join request's exact encoded size.
+func (j JoinRequest) WireSize() int { return 2 + j.Rec.WireSize() }
+
+// WireSize returns the member-list response's exact encoded size.
+func (m MemListMsg) WireSize() int {
+	n := 2 + 4
+	for _, rec := range m.Records {
+		n += rec.WireSize()
+	}
+	return n
+}

@@ -200,7 +200,7 @@ func (p *Protocol) Propose(ctx *simnet.Context, sn uint64, digest crypto.Digest,
 	in.seen[digest] = prop
 	for _, id := range p.Committee {
 		if id != p.Self {
-			ctx.Send(id, TagPropose, prop, size+p.Scheme.SigSize()+crypto.HashSize)
+			ctx.Send(id, TagPropose, prop, prop.WireSize())
 		}
 	}
 	// The leader implicitly echoes and confirms its own proposal.
@@ -216,7 +216,7 @@ func (p *Protocol) Propose(ctx *simnet.Context, sn uint64, digest crypto.Digest,
 func (p *Protocol) SendRaw(ctx *simnet.Context, prop Propose, to []simnet.NodeID) {
 	for _, id := range to {
 		if id != p.Self {
-			ctx.Send(id, TagPropose, prop, prop.Size+p.Scheme.SigSize()+crypto.HashSize)
+			ctx.Send(id, TagPropose, prop, prop.WireSize())
 		}
 	}
 }
@@ -300,7 +300,7 @@ func (p *Protocol) onPropose(ctx *simnet.Context, prop Propose) {
 	// ECHO to the whole committee, retransmitting the proposal.
 	echoSig := p.Scheme.Sign(p.Keys, sigMsg(TagEcho, prop.Round, prop.SN, prop.Digest, int32(p.Self)))
 	echo := Echo{Round: prop.Round, SN: prop.SN, Digest: prop.Digest, Echoer: p.Self, Sig: echoSig, Propose: prop}
-	size := prop.Size + 2*p.Scheme.SigSize() + crypto.HashSize
+	size := echo.WireSize()
 	for _, id := range p.Committee {
 		if id != p.Self {
 			ctx.Send(id, TagEcho, echo, size)
@@ -335,7 +335,7 @@ func (p *Protocol) onEcho(ctx *simnet.Context, e Echo) {
 			// Echo ourselves now that we hold the proposal.
 			echoSig := p.Scheme.Sign(p.Keys, sigMsg(TagEcho, prop.Round, prop.SN, prop.Digest, int32(p.Self)))
 			mine := Echo{Round: prop.Round, SN: prop.SN, Digest: prop.Digest, Echoer: p.Self, Sig: echoSig, Propose: prop}
-			size := prop.Size + 2*p.Scheme.SigSize() + crypto.HashSize
+			size := mine.WireSize()
 			for _, id := range p.Committee {
 				if id != p.Self {
 					ctx.Send(id, TagEcho, mine, size)
@@ -384,8 +384,7 @@ func (p *Protocol) maybeConfirm(ctx *simnet.Context, sn uint64) {
 	if p.Self == p.Leader {
 		p.onConfirm(ctx, conf)
 	} else {
-		size := len(echoSigs)*p.Scheme.SigSize() + p.Scheme.SigSize() + crypto.HashSize
-		ctx.Send(p.Leader, TagConfirm, conf, size)
+		ctx.Send(p.Leader, TagConfirm, conf, conf.WireSize())
 	}
 }
 

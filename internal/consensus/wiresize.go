@@ -1,0 +1,71 @@
+package consensus
+
+// This file gives every consensus message an exact wire size. The sizes
+// mirror the internal/wire codec's encoding byte for byte (the codec's
+// audit test enforces the agreement); they live here, not in wire, because
+// wire imports the message packages and call sites declaring Send sizes
+// must not create an import cycle.
+//
+// Encoding conventions (shared with internal/wire): every registered type
+// is framed as [u16 tag][body] and its WireSize includes the 2-byte tag;
+// byte slices and strings carry a u32 length prefix; NodeIDs are 4 bytes;
+// pointers carry a 1-byte presence flag; maps are encoded with sorted keys.
+
+// wireTag is the size of the codec's per-type tag prefix.
+const wireTag = 2
+
+// WireSizer is implemented by payloads that know their exact encoded
+// size, tag included. Consensus messages carry `any` payloads; the ones
+// that cross the wire all implement this.
+type WireSizer interface{ WireSize() int }
+
+// payloadWireSize is the exact encoded size of an embedded payload: the
+// codec's 2-byte nil tag for nil, the payload's own size when it is
+// wire-sized, and 0 for unregistered payloads (test doubles that never
+// cross a real transport).
+func payloadWireSize(p any) int {
+	if p == nil {
+		return wireTag
+	}
+	if ws, ok := p.(WireSizer); ok {
+		return ws.WireSize()
+	}
+	return 0
+}
+
+func bytesWire(b []byte) int { return 4 + len(b) }
+
+// WireSize returns the proposal's exact encoded size.
+func (p Propose) WireSize() int {
+	return wireTag + 8 + 8 + 32 + payloadWireSize(p.Payload) + 4 + 4 + bytesWire(p.Sig)
+}
+
+// WireSize returns the echo's exact encoded size (it retransmits the
+// leader's full proposal).
+func (e Echo) WireSize() int {
+	return wireTag + 8 + 8 + 32 + 4 + bytesWire(e.Sig) + e.Propose.WireSize()
+}
+
+// WireSize returns the confirm's exact encoded size, echo evidence
+// included.
+func (c Confirm) WireSize() int {
+	n := wireTag + 8 + 8 + 32 + 4 + bytesWire(c.Sig) + 4
+	for _, sig := range c.EchoSigs {
+		n += 4 + bytesWire(sig)
+	}
+	return n
+}
+
+// WireSize returns the equivocation witness's exact encoded size.
+func (w Witness) WireSize() int {
+	return wireTag + w.A.WireSize() + w.B.WireSize()
+}
+
+// WireSize returns the decision certificate's exact encoded size.
+func (r Result) WireSize() int {
+	n := wireTag + 8 + 8 + 32 + payloadWireSize(r.Payload) + 4
+	for _, c := range r.Confirms {
+		n += c.WireSize()
+	}
+	return n
+}

@@ -93,6 +93,95 @@ func (tx *Tx) encode() []byte {
 	return buf
 }
 
+// EncodedSize returns the exact length of the canonical encoding — the
+// transaction's wire size. The wire codec frames this encoding verbatim,
+// so hashing and transport share one byte layout.
+func (tx *Tx) EncodedSize() int { return tx.encodedSize() }
+
+// WireSize returns the transaction's exact encoded size under the
+// internal/wire codec: the 2-byte type tag plus the canonical encoding.
+func (tx *Tx) WireSize() int { return 2 + tx.encodedSize() }
+
+// AppendEncode appends the canonical encoding to buf and returns the
+// extended slice. Exactly EncodedSize bytes are appended.
+func (tx *Tx) AppendEncode(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, tx.Nonce)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(tx.Inputs)))
+	for _, in := range tx.Inputs {
+		buf = append(buf, in.Tx[:]...)
+		buf = binary.BigEndian.AppendUint32(buf, in.Index)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(tx.Outputs)))
+	for _, out := range tx.Outputs {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(out.Owner)))
+		buf = append(buf, out.Owner...)
+		buf = binary.BigEndian.AppendUint64(buf, out.Amount)
+	}
+	return buf
+}
+
+// DecodeTx parses one canonical transaction encoding from the front of
+// buf, returning the transaction and the number of bytes consumed. The ID
+// cache is settled before the Tx is returned, preserving the
+// settled-before-shared invariant for decoded transactions. Counts are
+// validated against the remaining bytes before any allocation, so a
+// hostile length prefix cannot force a huge make.
+func DecodeTx(buf []byte) (*Tx, int, error) {
+	const minTx = 8 + 4 + 4
+	if len(buf) < minTx {
+		return nil, 0, errTruncated("tx header")
+	}
+	tx := &Tx{Nonce: binary.BigEndian.Uint64(buf)}
+	off := 8
+	nIn := int(binary.BigEndian.Uint32(buf[off:]))
+	off += 4
+	if nIn > (len(buf)-off)/(crypto.HashSize+4) {
+		return nil, 0, errTruncated("tx inputs")
+	}
+	if nIn > 0 {
+		tx.Inputs = make([]OutPoint, nIn)
+		for i := range tx.Inputs {
+			copy(tx.Inputs[i].Tx[:], buf[off:off+crypto.HashSize])
+			tx.Inputs[i].Index = binary.BigEndian.Uint32(buf[off+crypto.HashSize:])
+			off += crypto.HashSize + 4
+		}
+	}
+	if len(buf)-off < 4 {
+		return nil, 0, errTruncated("tx output count")
+	}
+	nOut := int(binary.BigEndian.Uint32(buf[off:]))
+	off += 4
+	if nOut > (len(buf)-off)/12 { // each output is at least 4+0+8 bytes
+		return nil, 0, errTruncated("tx outputs")
+	}
+	if nOut > 0 {
+		tx.Outputs = make([]Output, nOut)
+		for i := range tx.Outputs {
+			if len(buf)-off < 4 {
+				return nil, 0, errTruncated("tx owner length")
+			}
+			ol := int(binary.BigEndian.Uint32(buf[off:]))
+			off += 4
+			if ol > len(buf)-off-8 {
+				return nil, 0, errTruncated("tx owner")
+			}
+			tx.Outputs[i].Owner = string(buf[off : off+ol])
+			off += ol
+			tx.Outputs[i].Amount = binary.BigEndian.Uint64(buf[off:])
+			off += 8
+		}
+	}
+	tx.ID()
+	return tx, off, nil
+}
+
+// decodeError is the typed error for malformed canonical encodings.
+type decodeError string
+
+func (e decodeError) Error() string { return "ledger: truncated encoding: " + string(e) }
+
+func errTruncated(what string) error { return decodeError(what) }
+
 // ID returns the transaction hash, computing and caching it on first call.
 //
 // Invariant (copy-on-mutate): a Tx must not be mutated after its ID has

@@ -29,6 +29,10 @@ type Solution struct {
 	Nonce uint64
 }
 
+// WireSize returns the solution's exact encoded size under the
+// internal/wire codec: 2-byte tag, length-prefixed public key, nonce.
+func (s Solution) WireSize() int { return 2 + 4 + len(s.PK) + 8 }
+
 // NewPuzzle creates a puzzle whose expected solving cost is `hardness`
 // hash evaluations (a uniformly random digest succeeds with probability
 // 1/hardness).

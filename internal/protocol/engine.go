@@ -15,6 +15,7 @@ import (
 	"cycledger/internal/pvss"
 	"cycledger/internal/reputation"
 	"cycledger/internal/simnet"
+	"cycledger/internal/transport"
 	"cycledger/internal/workload"
 )
 
@@ -92,10 +93,12 @@ type RoundReport struct {
 // Throughput returns included transactions per round.
 func (r *RoundReport) Throughput() int { return r.IntraIncluded + r.CrossIncluded }
 
-// Engine runs the full protocol over a simulated network.
+// Engine runs the full protocol over a pluggable transport — the
+// deterministic simulator by default, or any Params.Transport factory
+// (e.g. the live concurrent-process transport).
 type Engine struct {
 	P   Params
-	Net *simnet.Network
+	Net transport.Transport
 
 	rng   *rand.Rand
 	keys  []crypto.KeyPair
@@ -136,15 +139,25 @@ type Engine struct {
 // protocol's timeout/watchdog machinery. Config-driven runs go through
 // Params.Faults; this entry point exists for tests and advanced callers
 // that need a custom model (e.g. crash injection keyed to phase starts).
-// Call before the first round; nil uninstalls.
-func (e *Engine) InstallFaults(f simnet.Faults) {
+// Call before the first round; nil uninstalls. It fails when the
+// transport cannot honour the model (the live transport rejects every
+// real fault model).
+func (e *Engine) InstallFaults(f simnet.Faults) error {
 	if _, none := f.(simnet.NoFaults); none {
 		f = nil
 	}
-	e.Net.SetFaults(f)
+	if err := e.Net.SetFaults(f); err != nil {
+		return err
+	}
 	e.faults = f
 	e.faultsActive = f != nil
+	return nil
 }
+
+// Close releases the transport's resources (a no-op for the simulator;
+// goroutines, links, and pipes for the live transport). The engine must
+// not run further rounds afterwards.
+func (e *Engine) Close() error { return e.Net.Close() }
 
 // nodeDown reports whether a node is unreachable right now: explicitly
 // byzantine-offline, or crashed per the fault model's schedule.
@@ -191,12 +204,22 @@ func NewEngine(p Params) (*Engine, error) {
 		}
 		return e.roster.linkClass(from, to)
 	}
-	e.Net = simnet.New(e.lat, p.Seed)
+	build := p.Transport
+	if build == nil {
+		build = transport.SimFactory
+	}
+	net, err := build(e.lat, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	e.Net = net
 	if p.Parallelism != 1 {
 		e.Net.SetParallelism(p.Parallelism)
 	}
 	if p.Faults.Active() {
-		e.InstallFaults(p.Faults.Build(p.TotalNodes(), p.Seed))
+		if err := e.InstallFaults(p.Faults.Build(p.TotalNodes(), p.Seed)); err != nil {
+			return nil, err
+		}
 	}
 
 	n := p.TotalNodes()
@@ -420,13 +443,14 @@ func (e *Engine) propagateBlock(ctx *simnet.Context, refID simnet.NodeID, blk *B
 		return
 	}
 	msg := BlockMsg{Block: blk}
+	size := msg.WireSize()
 	for k := idx; k < e.P.M; k += len(e.roster.Referee) {
-		ctx.Send(e.roster.Leaders[k], TagBlock, msg, blk.WireSize())
+		ctx.Send(e.roster.Leaders[k], TagBlock, msg, size)
 	}
 	// Referee members also serve each other.
 	for i, id := range e.roster.Referee {
 		if i != idx && (i%len(e.roster.Referee)) == idx {
-			ctx.Send(id, TagBlock, msg, blk.WireSize())
+			ctx.Send(id, TagBlock, msg, size)
 		}
 	}
 }

@@ -343,15 +343,24 @@ func (b *Block) Digest() crypto.Digest {
 	return crypto.H(parts...)
 }
 
-// WireSize approximates the block's size: O(n) participants plus txs.
+// WireSize returns the block's exact encoded size under the internal/wire
+// codec (previously an approximation; exact since the codec exists).
 func (b *Block) WireSize() int {
-	size := 64 + len(b.Txs)*96
-	size += (len(b.NextReferee) + len(b.NextLeaders)) * 4
+	n := 2 + 8 + txsWire(b.Txs) + 8 + 32
+	n += nodesWire(b.NextReferee) + nodesWire(b.NextLeaders)
+	n += 4
 	for _, ps := range b.NextPartials {
-		size += len(ps) * 4
+		n += nodesWire(ps)
 	}
-	size += len(b.Reputations) * 12
-	return size
+	n += 4
+	for k := range b.Reputations {
+		n += 4 + len(k) + 8
+	}
+	n += 4
+	for k := range b.Rewards {
+		n += 4 + len(k) + 8
+	}
+	return n
 }
 
 // BlockMsg propagates the decided block.
@@ -410,8 +419,4 @@ func voteBytes(v reputation.VoteVector) []byte {
 		out[i] = byte(x + 1)
 	}
 	return out
-}
-
-func txListSize(txs []*ledger.Tx) int {
-	return len(txs) * 96
 }

@@ -26,7 +26,7 @@ func (n *Node) startSemiCommit(ctx *simnet.Context) {
 	}
 	msg := SemiComMsg{Round: n.eng.round, Committee: n.comID, SemiCom: com, Records: n.localDirectory.Records()}
 	msg.Sig = n.eng.P.Scheme.Sign(n.Keys, msg.SigParts()...)
-	size := n.localDirectory.WireSize() + n.eng.P.Scheme.SigSize() + crypto.HashSize
+	size := msg.WireSize()
 	for _, rm := range n.eng.roster.Referee {
 		ctx.Send(rm, TagSemiCom, msg, size)
 	}
@@ -66,7 +66,7 @@ func (n *Node) onSemiCom(ctx *simnet.Context, m SemiComMsg, from simnet.NodeID) 
 		if m.ListDigest() == m.SemiCom {
 			payload := SemiComPayload{Committee: m.Committee, Msg: m}
 			if p := n.consFor(n.ID); p != nil {
-				p.Propose(ctx, snSemiComBase+m.Committee, payload.Digest(), payload, len(m.Records)*36+crypto.HashSize)
+				p.Propose(ctx, snSemiComBase+m.Committee, payload.Digest(), payload, payload.WireSize())
 			}
 		} else if !n.eng.P.DisableRecovery {
 			n.proposeEviction(ctx, m.Committee, RecoveryWitness{
@@ -106,7 +106,7 @@ func (n *Node) startIntra(ctx *simnet.Context, attempt int) {
 	}
 	msg := TxListMsg{Round: n.eng.round, Committee: n.comID, Attempt: attempt, Txs: txs}
 	msg.Sig = n.eng.P.Scheme.Sign(n.Keys, u64(msg.Round), u64(msg.Committee), u64(uint64(attempt)))
-	size := txListSize(txs) + n.eng.P.Scheme.SigSize()
+	size := msg.WireSize()
 	for _, id := range n.committeeNodes {
 		if id != n.ID {
 			ctx.Send(id, TagTxList, msg, size)
@@ -133,7 +133,7 @@ func (n *Node) onTxList(ctx *simnet.Context, m TxListMsg) {
 	votes := n.voteOnTxs(m.Txs)
 	vm := VoteMsg{Round: m.Round, Committee: m.Committee, Attempt: m.Attempt, Voter: n.ID, Votes: votes}
 	vm.Sig = n.eng.P.Scheme.Sign(n.Keys, voteSigMsg(m.Round, n.ID, votes))
-	ctx.Send(n.curLeader, TagVote, vm, len(votes)+n.eng.P.Scheme.SigSize())
+	ctx.Send(n.curLeader, TagVote, vm, vm.WireSize())
 }
 
 // voteOnTxs produces this node's vote vector: the committee's honest
@@ -226,14 +226,14 @@ func (n *Node) finishIntra(ctx *simnet.Context, attempt int) {
 	if n.Behavior.EquivocateIntra {
 		// Split the committee and propose two conflicting decisions.
 		alt := IntraPayload{Txs: nil, Voters: payload.Voters, Votes: payload.Votes}
-		propA := consensus.BuildPropose(n.eng.P.Scheme, n.Keys, n.ID, n.eng.round, sn, payload.Digest(), payload, txListSize(dec))
-		propB := consensus.BuildPropose(n.eng.P.Scheme, n.Keys, n.ID, n.eng.round, sn, alt.Digest(), alt, 0)
+		propA := consensus.BuildPropose(n.eng.P.Scheme, n.Keys, n.ID, n.eng.round, sn, payload.Digest(), payload, payload.WireSize())
+		propB := consensus.BuildPropose(n.eng.P.Scheme, n.Keys, n.ID, n.eng.round, sn, alt.Digest(), alt, alt.WireSize())
 		half := len(n.committeeNodes) / 2
 		p.SendRaw(ctx, propA, n.committeeNodes[:half])
 		p.SendRaw(ctx, propB, n.committeeNodes[half:])
 		return
 	}
-	p.Propose(ctx, sn, payload.Digest(), payload, txListSize(dec)+len(voteList)*len(txs))
+	p.Propose(ctx, sn, payload.Digest(), payload, payload.WireSize())
 }
 
 // ---------------------------------------------------------------------------
@@ -261,8 +261,8 @@ func (n *Node) startInter(ctx *simnet.Context) {
 	}
 	for _, j := range targets {
 		j, txs := j, n.interOut[j]
-		ctx.Send(n.eng.roster.Leaders[j], TagInterQuery,
-			InterQueryMsg{Round: n.eng.round, From: n.comID, To: j, Txs: txs}, txListSize(txs))
+		query := InterQueryMsg{Round: n.eng.round, From: n.comID, To: j, Txs: txs}
+		ctx.Send(n.eng.roster.Leaders[j], TagInterQuery, query, query.WireSize())
 		ctx.After(4*n.eng.lat.Gamma, func(c *simnet.Context) {
 			if n.interOutStarted[j] {
 				return
@@ -285,7 +285,7 @@ func (n *Node) proposeInterOut(ctx *simnet.Context, j uint64, txs []*ledger.Tx) 
 		return
 	}
 	payload := InterPayload{From: n.comID, Txs: txs}
-	p.Propose(ctx, snInterOutBase+j, payload.Digest(), payload, txListSize(txs))
+	p.Propose(ctx, snInterOutBase+j, payload.Digest(), payload, payload.WireSize())
 }
 
 // onInterQuery answers a §VIII-A pre-screen: the receiving leader marks
@@ -302,8 +302,8 @@ func (n *Node) onInterQuery(ctx *simnet.Context, m InterQueryMsg) {
 		_, err := ledger.Validate(tx, n.eng.utxo)
 		valid[i] = err == nil
 	}
-	ctx.Send(n.eng.roster.Leaders[m.From], TagInterPref,
-		InterPrefMsg{Round: m.Round, From: m.From, To: m.To, Valid: valid}, len(valid))
+	pref := InterPrefMsg{Round: m.Round, From: m.From, To: m.To, Valid: valid}
+	ctx.Send(n.eng.roster.Leaders[m.From], TagInterPref, pref, pref.WireSize())
 }
 
 // onInterPref filters the pending list by the receiver's preference and
@@ -372,7 +372,7 @@ func (n *Node) onInterFwd(ctx *simnet.Context, m InterFwdMsg) {
 	case RoleLeader:
 		payload := InterPayload{From: m.From, Txs: m.Txs}
 		if p := n.consFor(n.ID); p != nil {
-			p.Propose(ctx, snInterInBase+m.From, payload.Digest(), payload, txListSize(m.Txs))
+			p.Propose(ctx, snInterInBase+m.From, payload.Digest(), payload, payload.WireSize())
 		}
 	case RolePartial:
 		// Lemma 7 liveness: if the leader stays silent for 2Γ, forward
@@ -388,7 +388,7 @@ func (n *Node) onInterFwd(ctx *simnet.Context, m InterFwdMsg) {
 			if n.leaderProposedInterIn(src) {
 				return
 			}
-			c.Send(n.curLeader, TagInterFwd, mm, txListSize(mm.Txs))
+			c.Send(n.curLeader, TagInterFwd, mm, mm.WireSize())
 			c.After(wait, func(c2 *simnet.Context) {
 				if n.leaderProposedInterIn(src) {
 					return
@@ -396,7 +396,7 @@ func (n *Node) onInterFwd(ctx *simnet.Context, m InterFwdMsg) {
 				if n.isFirstPartial() {
 					payload := InterPayload{From: src, Txs: mm.Txs}
 					if p := n.consFor(n.ID); p != nil {
-						p.Propose(c2, snInterInBase+src, payload.Digest(), payload, txListSize(mm.Txs))
+						p.Propose(c2, snInterInBase+src, payload.Digest(), payload, payload.WireSize())
 					}
 				}
 			})
@@ -476,7 +476,7 @@ func (n *Node) startScore(ctx *simnet.Context) {
 	}
 	payload := ScorePayload{Members: append([]simnet.NodeID(nil), n.voteOrder...), Scores: scores}
 	if p := n.consFor(n.ID); p != nil {
-		p.Propose(ctx, snScore, payload.Digest(), payload, len(scores)*12)
+		p.Propose(ctx, snScore, payload.Digest(), payload, payload.WireSize())
 	}
 }
 
@@ -521,13 +521,13 @@ func (n *Node) onConsensusDecide(ctx *simnet.Context, res consensus.Result) {
 			n.intraDecided = &payload
 		}
 		msg := IntraResultMsg{Committee: n.comID, Result: res, Members: n.committeeNodes}
-		size := res.CertSize(n.eng.P.Scheme)
+		size := msg.WireSize()
 		for _, rm := range n.eng.roster.Referee {
 			ctx.Send(rm, TagIntraResult, msg, size)
 		}
 	case res.SN == snScore:
 		msg := ScoreResultMsg{Committee: n.comID, Result: res, Members: n.committeeNodes}
-		size := res.CertSize(n.eng.P.Scheme)
+		size := msg.WireSize()
 		for _, rm := range n.eng.roster.Referee {
 			ctx.Send(rm, TagScoreResult, msg, size)
 		}
@@ -538,7 +538,7 @@ func (n *Node) onConsensusDecide(ctx *simnet.Context, res consensus.Result) {
 			return
 		}
 		fwd := InterFwdMsg{Round: n.eng.round, From: n.comID, To: j, Txs: payload.Txs, Cert: res, Members: n.committeeNodes}
-		size := txListSize(payload.Txs) + res.CertSize(n.eng.P.Scheme)
+		size := fwd.WireSize()
 		ctx.Send(n.eng.roster.Leaders[j], TagInterFwd, fwd, size)
 		for _, pm := range n.eng.roster.Partials[j] {
 			ctx.Send(pm, TagInterFwd, fwd, size)
@@ -549,7 +549,7 @@ func (n *Node) onConsensusDecide(ctx *simnet.Context, res consensus.Result) {
 			n.interDecided[i] = &payload
 		}
 		msg := InterResultMsg{Round: n.eng.round, From: i, To: n.comID, Result: res}
-		size := res.CertSize(n.eng.P.Scheme)
+		size := msg.WireSize()
 		ctx.Send(n.eng.roster.Leaders[i], TagInterResult, msg, size)
 		for _, rm := range n.eng.roster.Referee {
 			ctx.Send(rm, TagInterResult, msg, size)
@@ -562,7 +562,7 @@ func (n *Node) onConsensusDecide(ctx *simnet.Context, res consensus.Result) {
 			n.validatedSemiComs[k] = payload.Msg.SemiCom
 			ok := SemiComOKMsg{Round: n.eng.round, SemiComs: map[uint64]crypto.Digest{k: payload.Msg.SemiCom}}
 			for _, id := range n.eng.roster.AllKeyMembers() {
-				ctx.Send(id, TagSemiComOK, ok, crypto.HashSize+8)
+				ctx.Send(id, TagSemiComOK, ok, ok.WireSize())
 			}
 		}
 	case res.SN >= snEvictBase && res.SN < snBlock:
@@ -576,7 +576,7 @@ func (n *Node) onConsensusDecide(ctx *simnet.Context, res consensus.Result) {
 		if payload, ok := res.Payload.(UTXOPayload); ok {
 			msg := UTXOFinalMsg{Round: n.eng.round, Committee: n.comID, Digest: payload.UTXO, Result: res}
 			for _, rm := range n.eng.roster.Referee {
-				ctx.Send(rm, TagUTXOFinal, msg, crypto.HashSize+res.CertSize(n.eng.P.Scheme))
+				ctx.Send(rm, TagUTXOFinal, msg, msg.WireSize())
 			}
 		}
 	}
@@ -594,7 +594,7 @@ func (n *Node) onConsensusAccept(ctx *simnet.Context, sn uint64, d crypto.Digest
 		// Every referee member notifies the committee (Algorithm 6).
 		msg := NewLeaderMsg{Round: n.eng.round, Committee: ev.Committee, Evicted: ev.Evicted, Successor: ev.Successor, Referee: n.ID}
 		for _, id := range n.eng.roster.Committee(ev.Committee) {
-			ctx.Send(id, TagNewLeader, msg, 24)
+			ctx.Send(id, TagNewLeader, msg, msg.WireSize())
 		}
 	case n.role == RoleReferee && sn == snBlock:
 		blk, ok := payload.(*Block)
@@ -625,7 +625,7 @@ func (n *Node) onBlock(ctx *simnet.Context, m BlockMsg) {
 		// Leaders forward the block inside their committee.
 		for _, id := range n.committeeNodes {
 			if id != n.ID {
-				ctx.Send(id, TagBlock, m, m.Block.WireSize())
+				ctx.Send(id, TagBlock, m, m.WireSize())
 			}
 		}
 		// Agree on the final shard-UTXO digest.
@@ -633,7 +633,7 @@ func (n *Node) onBlock(ctx *simnet.Context, m BlockMsg) {
 		n.utxoDigest = digest
 		payload := UTXOPayload{Committee: n.comID, UTXO: digest}
 		if p := n.consFor(n.ID); p != nil {
-			p.Propose(ctx, snUTXO, payload.Digest(), payload, crypto.HashSize)
+			p.Propose(ctx, snUTXO, payload.Digest(), payload, payload.WireSize())
 		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"cycledger/internal/consensus"
+	"cycledger/internal/transport"
 )
 
 // Params configures a protocol simulation.
@@ -79,6 +80,13 @@ type Params struct {
 	// nil — and any inactive config — keeps the engine byte-identical to
 	// the fault-free implementation.
 	Faults *FaultsConfig
+
+	// Transport builds the network the engine runs over; nil selects the
+	// deterministic simulator (transport.SimFactory). Alternative
+	// factories — the live transport with real concurrent node processes —
+	// must use the engine's latency model and seed, which the engine
+	// passes in, so the simnet oracle-parity contract holds.
+	Transport transport.Factory
 }
 
 // DefaultParams returns a small but fully-featured configuration: 4

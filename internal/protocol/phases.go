@@ -327,8 +327,9 @@ func (e *Engine) phaseSelect(report *RoundReport) {
 			continue
 		}
 		msg := PowMsg{Round: e.round, Node: n.ID, Solution: entry.sol}
+		size := msg.WireSize()
 		for _, rm := range e.roster.Referee {
-			e.Net.Send(n.ID, rm, TagPow, msg, 48)
+			e.Net.Send(n.ID, rm, TagPow, msg, size)
 		}
 	}
 	e.powSols = nil
@@ -564,8 +565,10 @@ func (e *Engine) phaseBlock(report *RoundReport) error {
 		if server != nil {
 			rb := server.crBlock
 			e.Net.After(server.ID, 1, func(ctx *simnet.Context) {
+				msg := BlockMsg{Block: rb}
+				size := msg.WireSize()
 				for _, k := range affected {
-					ctx.Send(e.roster.Leaders[k], TagBlock, BlockMsg{Block: rb}, rb.WireSize())
+					ctx.Send(e.roster.Leaders[k], TagBlock, msg, size)
 				}
 			})
 			e.Net.RunUntilIdle()

@@ -57,9 +57,10 @@ func (n *Node) accuse(ctx *simnet.Context, w RecoveryWitness) {
 	n.myAccusation = &msg
 	n.myApprovals = nil
 	n.escalated = false
+	size := msg.WireSize()
 	for _, id := range n.committeeNodes {
 		if id != n.ID && id != n.curLeader {
-			ctx.Send(id, TagAccuse, msg, 200)
+			ctx.Send(id, TagAccuse, msg, size)
 		}
 	}
 	// The accuser approves its own motion.
@@ -89,7 +90,7 @@ func (n *Node) onAccuse(ctx *simnet.Context, m AccuseMsg) {
 	}
 	ap := ApproveMsg{Round: m.Round, Committee: m.Committee, Accuser: m.Accuser, Voter: n.ID}
 	ap.Sig = n.eng.P.Scheme.Sign(n.Keys, ap.SigParts()...)
-	ctx.Send(m.Accuser, TagApprove, ap, n.eng.P.Scheme.SigSize()+16)
+	ctx.Send(m.Accuser, TagApprove, ap, ap.WireSize())
 }
 
 // onApprove tallies impeachment votes on the accuser; past a majority the
@@ -118,7 +119,7 @@ func (n *Node) onApprove(ctx *simnet.Context, m ApproveMsg) {
 		Witness:   n.myAccusation.Witness,
 		Approvals: append([]ApproveMsg(nil), n.myApprovals...),
 	}
-	size := 200 + len(req.Approvals)*(n.eng.P.Scheme.SigSize()+16)
+	size := req.WireSize()
 	for _, rm := range n.eng.roster.Referee {
 		ctx.Send(rm, TagEvictReq, req, size)
 	}
@@ -186,7 +187,7 @@ func (n *Node) proposeEviction(ctx *simnet.Context, k uint64, w RecoveryWitness)
 	n.crEvictGen[k] = gen + 1
 	payload := EvictPayload{Committee: k, Evicted: evicted, Successor: successor, Witness: w}
 	if p := n.consFor(n.ID); p != nil {
-		p.Propose(ctx, sn, payload.Digest(), payload, 250)
+		p.Propose(ctx, sn, payload.Digest(), payload, payload.WireSize())
 	}
 }
 

@@ -102,6 +102,23 @@ func (l Latency) bound(from, to NodeID) Time {
 	}
 }
 
+// Draw samples the delivery delay for a message on the (from, to) link
+// from the given RNG: uniform in [1, bound], or exactly the bound when the
+// model is Deterministic. The Network's own send path and the live
+// transport's clock both route through Draw with identically-seeded RNGs,
+// which is what makes the simnet an oracle for live runs — same link, same
+// RNG state, same delay.
+func (l Latency) Draw(rng *rand.Rand, from, to NodeID) Time {
+	b := l.bound(from, to)
+	if b < 1 {
+		b = 1
+	}
+	if l.Deterministic {
+		return b
+	}
+	return Time(rng.Int63n(int64(b))) + 1
+}
+
 type eventKind int
 
 const (
@@ -159,6 +176,7 @@ type Network struct {
 	slots       []nodeSlot      // handler + lane per node, indexed by NodeID
 	down        map[NodeID]bool // crashed/offline nodes drop all traffic
 	faults      Faults          // nil = fault-free (byte-identical to the pre-fault engine)
+	sendAudit   func(Message)   // optional per-send assertion hook (size audits in tests)
 	metrics     *Metrics
 	parallelism int
 	delivered   uint64
@@ -272,6 +290,12 @@ func (n *Network) SetFaults(f Faults) {
 	n.faults = f
 }
 
+// SetSendAudit installs a hook observing every message at the moment it is
+// sent, before fault fates or delays are drawn. Tests use it to cross-check
+// each Send's declared Size against the wire codec's SizeHint; nil removes
+// the hook. The hook must not re-enter the Network.
+func (n *Network) SetSendAudit(fn func(Message)) { n.sendAudit = fn }
+
 // Metrics exposes the traffic accounting.
 func (n *Network) Metrics() *Metrics { return n.metrics }
 
@@ -343,17 +367,13 @@ func (n *Network) After(node NodeID, d Time, fn func(*Context)) {
 }
 
 func (n *Network) delay(from, to NodeID) Time {
-	b := n.latency.bound(from, to)
-	if b < 1 {
-		b = 1
-	}
-	if n.latency.Deterministic {
-		return b
-	}
-	return Time(n.rng.Int63n(int64(b))) + 1
+	return n.latency.Draw(n.rng, from, to)
 }
 
 func (n *Network) enqueueMessage(msg Message) {
+	if n.sendAudit != nil {
+		n.sendAudit(msg)
+	}
 	if n.faults != nil {
 		n.enqueueWithFaults(msg)
 		return
@@ -423,6 +443,28 @@ func (c *Context) Broadcast(tos []NodeID, tag string, payload any, size int) {
 // After schedules fn on this node after d ticks.
 func (c *Context) After(d Time, fn func(*Context)) {
 	c.out = append(c.out, effect{isTimer: true, delay: d, fn: fn})
+}
+
+// NewContext returns a standalone effect buffer for transports that run
+// handlers outside a Network — the live transport hands one to each
+// handler invocation and drains it with Effects. Contexts created here are
+// not pooled; the Network's own deliveries keep using the internal free
+// list.
+func NewContext(node NodeID, now Time) *Context {
+	return &Context{Node: node, now: now}
+}
+
+// Effects replays the buffered effects in the order the handler produced
+// them: onMsg for each Send/Broadcast, onTimer for each After (with the
+// handler-requested delay, unclamped). The buffer is left intact.
+func (c *Context) Effects(onMsg func(Message), onTimer func(d Time, fn func(*Context))) {
+	for _, ef := range c.out {
+		if ef.isTimer {
+			onTimer(ef.delay, ef.fn)
+		} else {
+			onMsg(ef.msg)
+		}
+	}
 }
 
 // Step processes every event scheduled at the earliest pending timestamp.

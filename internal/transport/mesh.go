@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"cycledger/internal/simnet"
+)
+
+// Mesh provides the point-to-point byte links under the live transport,
+// split listener/dialer-style so an implementation backed by real sockets
+// drops in without touching the transport: Listen is the accept side,
+// Dial the connect side, and the first bytes on every connection are the
+// hello frame naming the dialing node (writeHello/readHello).
+type Mesh interface {
+	// Listen installs the accept callback for a node. The mesh invokes
+	// accept once per inbound connection; the callback takes ownership of
+	// the conn (the live transport starts a read loop on it).
+	Listen(id simnet.NodeID, accept func(conn io.ReadCloser))
+	// Dial opens the sending end of the ordered link from → to. The caller
+	// must write the hello frame before any message frames.
+	Dial(from, to simnet.NodeID) (io.WriteCloser, error)
+	// Close tears down every connection the mesh created; blocked reads
+	// and writes on them fail afterwards.
+	Close() error
+}
+
+// PipeMesh is the in-memory Mesh: every Dial is a net.Pipe whose read end
+// is handed to the destination's accept callback. It carries the same
+// hello-prefixed frame streams a socket mesh would, so the live transport
+// is exercised end to end — serialisation, pumps, read loops — with no
+// network stack underneath.
+type PipeMesh struct {
+	mu      sync.Mutex
+	accepts map[simnet.NodeID]func(io.ReadCloser)
+	conns   []net.Conn
+	closed  bool
+}
+
+// NewPipeMesh returns an empty in-memory mesh.
+func NewPipeMesh() *PipeMesh {
+	return &PipeMesh{accepts: make(map[simnet.NodeID]func(io.ReadCloser))}
+}
+
+// Listen installs the accept callback for a node.
+func (m *PipeMesh) Listen(id simnet.NodeID, accept func(conn io.ReadCloser)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.accepts[id] = accept
+}
+
+// Dial opens a pipe to the destination's listener. The accept callback
+// runs synchronously with the read end; writes to the returned end block
+// until the destination's read loop consumes them (net.Pipe semantics),
+// which is why the live transport writes only from per-link pump
+// goroutines.
+func (m *PipeMesh) Dial(from, to simnet.NodeID) (io.WriteCloser, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("transport: mesh closed")
+	}
+	accept := m.accepts[to]
+	if accept == nil {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("transport: no listener for node %d", to)
+	}
+	local, remote := net.Pipe()
+	m.conns = append(m.conns, local, remote)
+	m.mu.Unlock()
+	accept(remote)
+	return local, nil
+}
+
+// Close closes every pipe end the mesh handed out.
+func (m *PipeMesh) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	for _, c := range m.conns {
+		c.Close()
+	}
+	m.conns = nil
+	return nil
+}
+
+var _ Mesh = (*PipeMesh)(nil)

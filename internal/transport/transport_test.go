@@ -1,0 +1,201 @@
+package transport_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"cycledger/internal/simnet"
+	"cycledger/internal/transport"
+)
+
+// testCodec serialises the toy payloads these tests use (nil and string),
+// keeping the transport tests independent of the production wire codec.
+type testCodec struct{}
+
+func (testCodec) SizeHint(v any) (int, error) {
+	switch s := v.(type) {
+	case nil:
+		return 1, nil
+	case string:
+		return 5 + len(s), nil
+	}
+	return 0, fmt.Errorf("testCodec: unregistered type %T", v)
+}
+
+func (testCodec) AppendEncode(buf []byte, v any) ([]byte, error) {
+	switch s := v.(type) {
+	case nil:
+		return append(buf, 0), nil
+	case string:
+		buf = append(buf, 1)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(s)))
+		return append(buf, s...), nil
+	}
+	return nil, fmt.Errorf("testCodec: unregistered type %T", v)
+}
+
+func (testCodec) Decode(data []byte) (any, int, error) {
+	if len(data) < 1 {
+		return nil, 0, fmt.Errorf("testCodec: empty buffer")
+	}
+	switch data[0] {
+	case 0:
+		return nil, 1, nil
+	case 1:
+		if len(data) < 5 {
+			return nil, 0, fmt.Errorf("testCodec: truncated length")
+		}
+		n := int(binary.BigEndian.Uint32(data[1:]))
+		if n > len(data)-5 {
+			return nil, 0, fmt.Errorf("testCodec: truncated string")
+		}
+		return string(data[5 : 5+n]), 5 + n, nil
+	}
+	return nil, 0, fmt.Errorf("testCodec: unknown tag %d", data[0])
+}
+
+// runScenario drives a small ping/pong/timer workload: jittered delays,
+// handler-issued sends and timers, a phase change, an external timer, a
+// modeled nil-payload broadcast, and a downed node — every behaviour the
+// live transport must reproduce from the simulator.
+func runScenario(tr transport.Transport) (counts [2]uint64) {
+	const n = 5
+	peers := make([]simnet.NodeID, n)
+	for i := range peers {
+		peers[i] = simnet.NodeID(i)
+	}
+	for i := 0; i < n; i++ {
+		tr.Register(peers[i], func(ctx *simnet.Context, msg simnet.Message) {
+			switch msg.Tag {
+			case "PING":
+				ctx.Send(msg.From, "PONG", "pong:"+msg.Payload.(string), 9)
+			case "PONG":
+				if ctx.Node == 0 {
+					ctx.After(3, func(c *simnet.Context) {
+						c.Broadcast(peers[1:], "TICK", nil, 17)
+					})
+				}
+			}
+		})
+	}
+	tr.Metrics().SetPhase("warm")
+	for i := 1; i < n; i++ {
+		tr.Send(0, peers[i], "PING", fmt.Sprintf("hello-%d", i), 5+i)
+	}
+	counts[0] = tr.RunUntilIdle()
+
+	tr.Metrics().SetPhase("cool")
+	tr.SetDown(3, true)
+	tr.Send(1, 0, "PING", "again", 10)
+	tr.Send(1, 3, "PING", "to-the-dead", 11)
+	tr.After(2, 7, func(c *simnet.Context) { c.Send(0, "PING", "from-timer", 12) })
+	counts[1] = tr.RunUntilIdle()
+	return counts
+}
+
+// TestLiveMatchesSimnet is the oracle-parity check at the transport
+// level: the same seeded scenario on the simulator and on the live
+// transport must agree on virtual time, event counts, and every metrics
+// view — sends, receives, drops, per phase, per node, per tag.
+func TestLiveMatchesSimnet(t *testing.T) {
+	const seed = 42
+	lat := simnet.DefaultLatency()
+
+	sim := transport.NewSim(lat, seed)
+	live := transport.NewLive(testCodec{}, transport.NewPipeMesh(), lat, seed)
+	defer live.Close()
+
+	simCounts := runScenario(sim)
+	liveCounts := runScenario(live)
+
+	if simCounts != liveCounts {
+		t.Errorf("event counts: sim %v, live %v", simCounts, liveCounts)
+	}
+	if sim.Now() != live.Now() {
+		t.Errorf("virtual time: sim %d, live %d", sim.Now(), live.Now())
+	}
+	sm, lm := sim.Metrics(), live.Metrics()
+	if sm.Total() != lm.Total() {
+		t.Errorf("total traffic: sim %+v, live %+v", sm.Total(), lm.Total())
+	}
+	if sm.DroppedTotal() != lm.DroppedTotal() {
+		t.Errorf("dropped: sim %+v, live %+v", sm.DroppedTotal(), lm.DroppedTotal())
+	}
+	if sm.DroppedTotal().Messages == 0 {
+		t.Error("scenario produced no drops; the down-node path went unexercised")
+	}
+	simTags := sm.Tags()
+	if fmt.Sprint(simTags) != fmt.Sprint(lm.Tags()) {
+		t.Fatalf("tags: sim %v, live %v", simTags, lm.Tags())
+	}
+	for _, tag := range simTags {
+		if sm.Tag(tag) != lm.Tag(tag) {
+			t.Errorf("tag %s: sim %+v, live %+v", tag, sm.Tag(tag), lm.Tag(tag))
+		}
+	}
+	for _, phase := range []string{"warm", "cool"} {
+		for id := simnet.NodeID(0); id < 5; id++ {
+			if sm.Sent(phase, id) != lm.Sent(phase, id) {
+				t.Errorf("sent %s/%d: sim %+v, live %+v", phase, id, sm.Sent(phase, id), lm.Sent(phase, id))
+			}
+			if sm.Received(phase, id) != lm.Received(phase, id) {
+				t.Errorf("received %s/%d: sim %+v, live %+v", phase, id, sm.Received(phase, id), lm.Received(phase, id))
+			}
+			if sm.Dropped(phase, id) != lm.Dropped(phase, id) {
+				t.Errorf("dropped %s/%d: sim %+v, live %+v", phase, id, sm.Dropped(phase, id), lm.Dropped(phase, id))
+			}
+		}
+	}
+}
+
+// TestLiveRejectsFaults checks the live transport's restriction: real
+// fault models are refused with an error, the fault-free defaults pass.
+func TestLiveRejectsFaults(t *testing.T) {
+	live := transport.NewLive(testCodec{}, transport.NewPipeMesh(), simnet.DefaultLatency(), 1)
+	defer live.Close()
+	if err := live.SetFaults(nil); err != nil {
+		t.Fatalf("SetFaults(nil): %v", err)
+	}
+	if err := live.SetFaults(simnet.NoFaults{}); err != nil {
+		t.Fatalf("SetFaults(NoFaults): %v", err)
+	}
+	churn := simnet.NewChurn(map[simnet.NodeID][]simnet.Window{0: {{From: 1, To: 2}}})
+	if err := live.SetFaults(churn); err == nil {
+		t.Fatal("SetFaults accepted a real fault model")
+	}
+}
+
+// TestLiveSendAudit checks the audit hook observes live sends with the
+// declared size, before delivery.
+func TestLiveSendAudit(t *testing.T) {
+	live := transport.NewLive(testCodec{}, transport.NewPipeMesh(), simnet.DefaultLatency(), 1)
+	defer live.Close()
+	live.Register(0, func(ctx *simnet.Context, msg simnet.Message) {})
+	var seen []simnet.Message
+	live.SetSendAudit(func(m simnet.Message) { seen = append(seen, m) })
+	live.Send(1, 0, "PING", "x", 6)
+	live.RunUntilIdle()
+	if len(seen) != 1 || seen[0].Tag != "PING" || seen[0].Size != 6 {
+		t.Fatalf("audit saw %v", seen)
+	}
+}
+
+// TestLiveCloseIdempotent checks Close twice is safe and leaves the
+// transport's accessors usable.
+func TestLiveCloseIdempotent(t *testing.T) {
+	live := transport.NewLive(testCodec{}, transport.NewPipeMesh(), simnet.DefaultLatency(), 1)
+	live.Register(0, func(ctx *simnet.Context, msg simnet.Message) {})
+	live.Register(1, func(ctx *simnet.Context, msg simnet.Message) {})
+	live.Send(0, 1, "PING", "x", 6)
+	live.RunUntilIdle()
+	if err := live.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := live.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if live.Now() == 0 {
+		t.Error("virtual time lost after Close")
+	}
+}

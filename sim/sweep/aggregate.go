@@ -37,6 +37,10 @@ type Metrics struct {
 	// DroppedPerRound is messages lost to the fault model per round
 	// (in flight or addressed to crashed nodes).
 	DroppedPerRound float64 `json:"dropped_per_round"`
+	// DroppedBytesPerRound is the wire volume of the dropped messages per
+	// round — with BytesPerRound it separates "many small control messages
+	// lost" from "a transaction list lost".
+	DroppedBytesPerRound float64 `json:"dropped_bytes_per_round"`
 	// LatePerRound is messages delivered beyond their synchrony bound per
 	// round.
 	LatePerRound float64 `json:"late_per_round"`
@@ -64,6 +68,7 @@ var metricDefs = []struct {
 	{"bytes_per_round", func(m Metrics) float64 { return m.BytesPerRound }},
 	{"ticks_per_round", func(m Metrics) float64 { return m.TicksPerRound }},
 	{"dropped_per_round", func(m Metrics) float64 { return m.DroppedPerRound }},
+	{"dropped_bytes_per_round", func(m Metrics) float64 { return m.DroppedBytesPerRound }},
 	{"late_per_round", func(m Metrics) float64 { return m.LatePerRound }},
 	{"timeouts_per_round", func(m Metrics) float64 { return m.TimeoutsPerRound }},
 }
@@ -97,6 +102,7 @@ func Summarize(reports []*sim.RoundReport) Metrics {
 		m.BytesPerRound += float64(r.Bytes)
 		m.TicksPerRound += float64(r.Duration)
 		m.DroppedPerRound += float64(r.Dropped)
+		m.DroppedBytesPerRound += float64(r.DroppedBytes)
 		m.LatePerRound += float64(r.Late)
 		m.TimeoutsPerRound += float64(len(r.Timeouts))
 	}
@@ -113,6 +119,7 @@ func Summarize(reports []*sim.RoundReport) Metrics {
 	m.BytesPerRound /= n
 	m.TicksPerRound /= n
 	m.DroppedPerRound /= n
+	m.DroppedBytesPerRound /= n
 	m.LatePerRound /= n
 	m.TimeoutsPerRound /= n
 	return m

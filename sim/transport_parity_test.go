@@ -1,0 +1,89 @@
+package sim_test
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cycledger/sim"
+)
+
+// TestTransportParity is the wire/transport subsystem's payoff check: the
+// full default scenario run over the live transport — real concurrent node
+// processes exchanging codec-encoded bytes — produces RoundReports
+// identical to the deterministic simulator, Duration included (the two
+// transports share the seeded latency RNG draw-for-draw).
+func TestTransportParity(t *testing.T) {
+	run := func(transport string) []*sim.RoundReport {
+		t.Helper()
+		s, err := sim.New(sim.WithTransport(transport))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		reports, err := s.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reports
+	}
+	want := run("sim")
+	got := run("live")
+	if !reflect.DeepEqual(want, got) {
+		wantJSON, _ := json.Marshal(want)
+		gotJSON, _ := json.Marshal(got)
+		t.Errorf("live transport diverges from the simulator oracle\n sim:  %s\n live: %s", wantJSON, gotJSON)
+	}
+}
+
+// TestTransportParityByzantine extends the oracle check to a byzantine
+// population: deviating behaviours change the message mix (equivocation,
+// concealment), and every variant must still cross the live transport
+// losslessly.
+func TestTransportParityByzantine(t *testing.T) {
+	run := func(transport string) []*sim.RoundReport {
+		t.Helper()
+		s, err := sim.New(small(
+			sim.WithAdversary(0.2, "equivocate,conceal", true),
+			sim.WithTransport(transport),
+		)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		reports, err := s.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reports
+	}
+	want := run("sim")
+	got := run("live")
+	if !reflect.DeepEqual(want, got) {
+		t.Error("live transport diverges from the simulator under byzantine behaviours")
+	}
+}
+
+// TestTransportNameValidation checks the facade's transport plumbing:
+// unknown names fail, and combining the live transport with an active
+// fault model is rejected at construction with a pointer to the simulator.
+func TestTransportNameValidation(t *testing.T) {
+	if _, err := sim.New(sim.WithTransport("carrier-pigeon")); err == nil {
+		t.Error("unknown transport name accepted")
+	}
+	if _, err := sim.Resolve(sim.WithTransport("live")); err != nil {
+		t.Errorf("live transport rejected by Resolve: %v", err)
+	}
+	_, err := sim.New(small(
+		sim.WithTransport("live"),
+		sim.WithFaults(sim.FaultsConfig{Loss: 0.1}),
+	)...)
+	if err == nil {
+		t.Fatal("live transport accepted an active fault model")
+	}
+	if !strings.Contains(err.Error(), "fault") {
+		t.Errorf("fault rejection error unhelpful: %v", err)
+	}
+}
