@@ -1,0 +1,252 @@
+package consensus
+
+import (
+	"math/rand"
+	"testing"
+
+	"cycledger/internal/crypto"
+	"cycledger/internal/simnet"
+)
+
+// certFixture builds a committee with real keypairs and a decision
+// certificate signed by the given subset of roster positions — the raw
+// material both VerifyCert and VerifyAggCert consume.
+type certFixture struct {
+	committee []simnet.NodeID
+	keys      map[simnet.NodeID]crypto.KeyPair
+	res       Result
+}
+
+func newCertFixture(rng *rand.Rand, n int, voters []int) *certFixture {
+	f := &certFixture{keys: make(map[simnet.NodeID]crypto.KeyPair, n)}
+	base := simnet.NodeID(rng.Intn(100))
+	for i := 0; i < n; i++ {
+		id := base + simnet.NodeID(i*3) // non-contiguous IDs, like real rosters
+		f.committee = append(f.committee, id)
+		f.keys[id] = crypto.GenerateKeyPair(rng)
+	}
+	f.res = Result{
+		Round:  uint64(rng.Intn(50)),
+		SN:     uint64(rng.Intn(5000)),
+		Digest: crypto.H([]byte{byte(rng.Intn(256))}),
+	}
+	for _, i := range voters {
+		f.res.Confirms = append(f.res.Confirms, f.confirm(i))
+	}
+	return f
+}
+
+// confirm produces roster position i's Confirm on the fixture's instance.
+func (f *certFixture) confirm(i int) Confirm {
+	id := f.committee[i]
+	sig := HashScheme{}.Sign(f.keys[id], sigMsg(TagConfirm, f.res.Round, f.res.SN, f.res.Digest, int32(id)))
+	return Confirm{Round: f.res.Round, SN: f.res.SN, Digest: f.res.Digest, Confirmer: id, Sig: sig}
+}
+
+func (f *certFixture) pkOf(id simnet.NodeID) crypto.PublicKey { return f.keys[id].PK }
+
+// aggregate folds the fixture's certificate, failing the test on error.
+func (f *certFixture) aggregate(t *testing.T) AggResult {
+	t.Helper()
+	ar, err := AggregateResult(HashScheme{}, f.res, f.committee)
+	if err != nil {
+		t.Fatalf("AggregateResult: %v", err)
+	}
+	return ar
+}
+
+// randSubset picks k distinct roster positions of n.
+func randSubset(rng *rand.Rand, n, k int) []int {
+	return rng.Perm(n)[:k]
+}
+
+// TestAggregateEquivalenceRandom is the core equivalence property: over
+// random committee sizes and random voter subsets, VerifyAggCert accepts an
+// aggregate certificate if and only if VerifyCert accepts the per-voter
+// certificate it was folded from.
+func TestAggregateEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(20)
+		k := rng.Intn(n + 1)
+		f := newCertFixture(rng, n, randSubset(rng, n, k))
+		wantErr := VerifyCert(HashScheme{}, f.res, f.committee, f.pkOf) != nil
+		ar := f.aggregate(t)
+		gotErr := VerifyAggCert(HashScheme{}, ar, f.committee, f.pkOf) != nil
+		if wantErr != gotErr {
+			t.Fatalf("trial %d (n=%d k=%d): VerifyCert err=%v, VerifyAggCert err=%v",
+				trial, n, k, wantErr, gotErr)
+		}
+		if wantMaj := 2*k > n; gotErr == wantMaj {
+			t.Fatalf("trial %d (n=%d k=%d): majority=%v but aggregate verification err=%v",
+				trial, n, k, wantMaj, gotErr)
+		}
+	}
+}
+
+// TestAggregateRejections drills the refusal edges of the aggregate path:
+// tampered proof, tampered bitmap, wrong roster, non-canonical bitmap, and
+// sub-threshold voter sets must all fail even though the aggregate fold
+// itself succeeded.
+func TestAggregateRejections(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 9
+	f := newCertFixture(rng, n, []int{0, 2, 3, 5, 8}) // 5 of 9: strict majority
+	ar := f.aggregate(t)
+	if err := VerifyAggCert(HashScheme{}, ar, f.committee, f.pkOf); err != nil {
+		t.Fatalf("baseline aggregate cert rejected: %v", err)
+	}
+
+	check := func(name string, mutate func(AggResult) AggResult, committee []simnet.NodeID) {
+		t.Helper()
+		bad := mutate(AggResult{
+			Round: ar.Round, SN: ar.SN, Digest: ar.Digest,
+			Bitmap: ar.Bitmap.Clone(), Proof: append([]byte(nil), ar.Proof...),
+		})
+		if err := VerifyAggCert(HashScheme{}, bad, committee, f.pkOf); err == nil {
+			t.Errorf("%s: aggregate cert accepted", name)
+		}
+	}
+
+	check("flipped proof bit", func(a AggResult) AggResult { a.Proof[0] ^= 1; return a }, f.committee)
+	check("truncated proof", func(a AggResult) AggResult { a.Proof = a.Proof[:16]; return a }, f.committee)
+	check("extra bitmap voter", func(a AggResult) AggResult { a.Bitmap.Set(1); return a }, f.committee)
+	check("dropped bitmap voter", func(a AggResult) AggResult { a.Bitmap[0] &^= 1; return a }, f.committee)
+	check("stray high bits", func(a AggResult) AggResult { a.Bitmap[len(a.Bitmap)-1] |= 0x80; return a }, f.committee)
+	check("oversized bitmap", func(a AggResult) AggResult { a.Bitmap = append(a.Bitmap, 0); return a }, f.committee)
+	check("wrong instance", func(a AggResult) AggResult { a.SN++; return a }, f.committee)
+
+	// Same certificate against a roster with different keys: every tag
+	// recomputes differently, so the proof cannot verify.
+	other := newCertFixture(rng, n, nil)
+	if err := VerifyAggCert(HashScheme{}, ar, other.committee, other.pkOf); err == nil {
+		t.Error("wrong roster: aggregate cert accepted")
+	}
+
+	// Exactly half the committee is not a strict majority.
+	half := newCertFixture(rng, 8, []int{0, 1, 2, 3})
+	if err := VerifyAggCert(HashScheme{}, half.aggregate(t), half.committee, half.pkOf); err == nil {
+		t.Error("exact half: aggregate cert accepted")
+	}
+	if err := VerifyCert(HashScheme{}, half.res, half.committee, half.pkOf); err == nil {
+		t.Error("exact half: per-voter cert accepted (oracle disagrees)")
+	}
+}
+
+// TestAggregateResultErrors checks the fold itself refuses confirmers the
+// per-voter verifier would refuse: outsiders and duplicates.
+func TestAggregateResultErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := newCertFixture(rng, 5, []int{0, 1, 2})
+
+	outsider := f.res
+	stranger := crypto.GenerateKeyPair(rng)
+	outsider.Confirms = append(append([]Confirm(nil), f.res.Confirms...), Confirm{
+		Round: f.res.Round, SN: f.res.SN, Digest: f.res.Digest,
+		Confirmer: 9999,
+		Sig:       HashScheme{}.Sign(stranger, sigMsg(TagConfirm, f.res.Round, f.res.SN, f.res.Digest, 9999)),
+	})
+	if _, err := AggregateResult(HashScheme{}, outsider, f.committee); err == nil {
+		t.Error("confirmer outside the committee aggregated without error")
+	}
+
+	dup := f.res
+	dup.Confirms = append(append([]Confirm(nil), f.res.Confirms...), f.confirm(1))
+	if _, err := AggregateResult(HashScheme{}, dup, f.committee); err == nil {
+		t.Error("duplicate confirmer aggregated without error")
+	}
+
+	short := f.res
+	short.Confirms = append([]Confirm(nil), f.res.Confirms...)
+	short.Confirms[0].Sig = short.Confirms[0].Sig[:8]
+	if _, err := AggregateResult(HashScheme{}, short, f.committee); err == nil {
+		t.Error("truncated signature aggregated without error")
+	}
+}
+
+// TestVerifyCertEdges pins the per-voter oracle's own edges — the behaviors
+// the aggregate path must match: duplicate voters, the exact-half boundary,
+// and voters outside the roster are refusals; one past half is acceptance.
+func TestVerifyCertEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+
+	t.Run("exact half rejected", func(t *testing.T) {
+		f := newCertFixture(rng, 6, []int{0, 1, 2})
+		if err := VerifyCert(HashScheme{}, f.res, f.committee, f.pkOf); err == nil {
+			t.Error("3 of 6 confirms accepted")
+		}
+	})
+	t.Run("one past half accepted", func(t *testing.T) {
+		f := newCertFixture(rng, 6, []int{0, 1, 2, 3})
+		if err := VerifyCert(HashScheme{}, f.res, f.committee, f.pkOf); err != nil {
+			t.Errorf("4 of 6 confirms rejected: %v", err)
+		}
+	})
+	t.Run("duplicate voter rejected", func(t *testing.T) {
+		f := newCertFixture(rng, 5, []int{0, 1, 2})
+		f.res.Confirms = append(f.res.Confirms, f.confirm(2))
+		if err := VerifyCert(HashScheme{}, f.res, f.committee, f.pkOf); err == nil {
+			t.Error("duplicate confirmer accepted")
+		}
+	})
+	t.Run("duplicates cannot fake a majority", func(t *testing.T) {
+		f := newCertFixture(rng, 5, []int{0, 1})
+		f.res.Confirms = append(f.res.Confirms, f.confirm(1), f.confirm(1))
+		if err := VerifyCert(HashScheme{}, f.res, f.committee, f.pkOf); err == nil {
+			t.Error("padded duplicate confirms accepted")
+		}
+	})
+	t.Run("outsider rejected", func(t *testing.T) {
+		f := newCertFixture(rng, 5, []int{0, 1, 2})
+		stranger := crypto.GenerateKeyPair(rng)
+		f.keys[7777] = stranger
+		f.res.Confirms = append(f.res.Confirms, Confirm{
+			Round: f.res.Round, SN: f.res.SN, Digest: f.res.Digest,
+			Confirmer: 7777,
+			Sig:       HashScheme{}.Sign(stranger, sigMsg(TagConfirm, f.res.Round, f.res.SN, f.res.Digest, 7777)),
+		})
+		if err := VerifyCert(HashScheme{}, f.res, f.committee, f.pkOf); err == nil {
+			t.Error("confirmer outside the roster accepted")
+		}
+	})
+}
+
+// TestBitmapCanonicalForm exercises the Bitmap primitive directly.
+func TestBitmapCanonicalForm(t *testing.T) {
+	for n := 0; n <= 40; n++ {
+		b := NewBitmap(n)
+		if err := b.Validate(n); err != nil {
+			t.Fatalf("empty bitmap for n=%d invalid: %v", n, err)
+		}
+		for i := 0; i < n; i++ {
+			b.Set(i)
+		}
+		if err := b.Validate(n); err != nil {
+			t.Fatalf("full bitmap for n=%d invalid: %v", n, err)
+		}
+		if b.Count() != n {
+			t.Fatalf("full bitmap for n=%d counts %d", n, b.Count())
+		}
+		if n > 0 && n%8 != 0 {
+			b[len(b)-1] |= 1 << (n % 8)
+			if err := b.Validate(n); err == nil {
+				t.Fatalf("stray bit past n=%d validated", n)
+			}
+		}
+		if err := NewBitmap(n + 8).Validate(n); err == nil {
+			t.Fatalf("oversized bitmap validated for n=%d", n)
+		}
+	}
+	var b Bitmap
+	if b.Has(0) || b.Has(-1) || b.Count() != 0 {
+		t.Error("nil bitmap reads a set bit")
+	}
+	if b.Clone() != nil {
+		t.Error("nil bitmap clone is non-nil")
+	}
+	c := Bitmap{0xff}.Clone()
+	c[0] = 0
+	if (Bitmap{0xff})[0] != 0xff {
+		t.Error("clone aliases its source")
+	}
+}

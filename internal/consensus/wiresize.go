@@ -69,3 +69,10 @@ func (r Result) WireSize() int {
 	}
 	return n
 }
+
+// WireSize returns the aggregate certificate's exact encoded size: the
+// instance header and payload plus the length-prefixed bitmap and proof —
+// constant in the committee size up to the ⌈C/8⌉-byte bitmap.
+func (ar AggResult) WireSize() int {
+	return wireTag + 8 + 8 + 32 + payloadWireSize(ar.Payload) + bytesWire(ar.Bitmap) + bytesWire(ar.Proof)
+}

@@ -376,6 +376,76 @@ type UTXOFinalMsg struct {
 	Result    consensus.Result
 }
 
+// Aggregate-certificate message variants (Params.AggregateCerts). Each
+// mirrors its per-voter counterpart field for field with the
+// consensus.Result certificate replaced by a consensus.AggResult — one
+// voter bitmap plus one constant-size proof — and travels under the same
+// wire tag, so phase traffic accounting and handler dispatch are unchanged;
+// receivers distinguish the two forms by payload type.
+
+// AggIntraResultMsg is IntraResultMsg with an aggregate certificate.
+type AggIntraResultMsg struct {
+	Committee uint64
+	Result    consensus.AggResult
+	Members   []simnet.NodeID
+}
+
+// AggScoreResultMsg is ScoreResultMsg with an aggregate certificate.
+type AggScoreResultMsg struct {
+	Committee uint64
+	Result    consensus.AggResult
+	Members   []simnet.NodeID
+}
+
+// AggInterFwdMsg is InterFwdMsg with an aggregate certificate.
+type AggInterFwdMsg struct {
+	Round   uint64
+	From    uint64
+	To      uint64
+	Txs     []*ledger.Tx
+	Cert    consensus.AggResult
+	Members []simnet.NodeID
+}
+
+// AggInterResultMsg is InterResultMsg with an aggregate certificate.
+type AggInterResultMsg struct {
+	Round  uint64
+	From   uint64
+	To     uint64
+	Result consensus.AggResult
+}
+
+// AggUTXOFinalMsg is UTXOFinalMsg with an aggregate certificate.
+type AggUTXOFinalMsg struct {
+	Round     uint64
+	Committee uint64
+	Digest    crypto.Digest
+	Result    consensus.AggResult
+}
+
+// AggEvictReqMsg is EvictReqMsg with the >c/2 approval list folded into a
+// voter bitmap over the committee roster order plus one aggregate proof of
+// the ApproveMsg signatures. The witness travels unchanged — it is one
+// leader-signed message (or a silence marker), not a per-voter list.
+type AggEvictReqMsg struct {
+	Round     uint64
+	Committee uint64
+	Accuser   simnet.NodeID
+	Witness   RecoveryWitness
+	Bitmap    consensus.Bitmap
+	Proof     []byte
+}
+
+// approveMsgAt returns the signed byte parts of roster member i's approval
+// for this eviction request — the msgAt closure for verifying the
+// aggregate approval certificate against a committee roster.
+func (m AggEvictReqMsg) approveMsgAt(members []simnet.NodeID) func(i int) [][]byte {
+	return func(i int) [][]byte {
+		ap := ApproveMsg{Round: m.Round, Committee: m.Committee, Accuser: m.Accuser, Voter: members[i]}
+		return ap.SigParts()
+	}
+}
+
 // UTXOPayload is the committee-level Algorithm 3 payload for the final
 // UTXO agreement.
 type UTXOPayload struct {

@@ -171,3 +171,33 @@ func (m UTXOFinalMsg) WireSize() int {
 func (p UTXOPayload) WireSize() int {
 	return 2 + 8 + 32
 }
+
+// WireSize returns the exact encoded size.
+func (m AggIntraResultMsg) WireSize() int {
+	return 2 + 8 + m.Result.WireSize() + nodesWire(m.Members)
+}
+
+// WireSize returns the exact encoded size.
+func (m AggScoreResultMsg) WireSize() int {
+	return 2 + 8 + m.Result.WireSize() + nodesWire(m.Members)
+}
+
+// WireSize returns the exact encoded size.
+func (m AggInterFwdMsg) WireSize() int {
+	return 2 + 8 + 8 + 8 + txsWire(m.Txs) + m.Cert.WireSize() + nodesWire(m.Members)
+}
+
+// WireSize returns the exact encoded size.
+func (m AggInterResultMsg) WireSize() int {
+	return 2 + 8 + 8 + 8 + m.Result.WireSize()
+}
+
+// WireSize returns the exact encoded size.
+func (m AggUTXOFinalMsg) WireSize() int {
+	return 2 + 8 + 8 + 32 + m.Result.WireSize()
+}
+
+// WireSize returns the exact encoded size.
+func (m AggEvictReqMsg) WireSize() int {
+	return 2 + 8 + 8 + 4 + m.Witness.WireSize() + sliceBytesWire(m.Bitmap) + sliceBytesWire(m.Proof)
+}

@@ -315,16 +315,27 @@ func (n *Node) Handle(ctx *simnet.Context, msg simnet.Message) {
 			}
 		}
 	case TagIntraResult:
-		if m, ok := msg.Payload.(IntraResultMsg); ok {
+		// Aggregate-certificate variants travel under the same tag and are
+		// told apart by payload type (here and below).
+		switch m := msg.Payload.(type) {
+		case IntraResultMsg:
 			n.onIntraResult(ctx, m)
+		case AggIntraResultMsg:
+			n.onAggIntraResult(ctx, m)
 		}
 	case TagInterFwd:
-		if m, ok := msg.Payload.(InterFwdMsg); ok {
+		switch m := msg.Payload.(type) {
+		case InterFwdMsg:
 			n.onInterFwd(ctx, m)
+		case AggInterFwdMsg:
+			n.onAggInterFwd(ctx, m)
 		}
 	case TagInterResult:
-		if m, ok := msg.Payload.(InterResultMsg); ok {
+		switch m := msg.Payload.(type) {
+		case InterResultMsg:
 			n.onInterResult(ctx, m)
+		case AggInterResultMsg:
+			n.onAggInterResult(ctx, m)
 		}
 	case TagInterQuery:
 		if m, ok := msg.Payload.(InterQueryMsg); ok {
@@ -335,8 +346,11 @@ func (n *Node) Handle(ctx *simnet.Context, msg simnet.Message) {
 			n.onInterPref(ctx, m)
 		}
 	case TagScoreResult:
-		if m, ok := msg.Payload.(ScoreResultMsg); ok {
+		switch m := msg.Payload.(type) {
+		case ScoreResultMsg:
 			n.onScoreResult(ctx, m)
+		case AggScoreResultMsg:
+			n.onAggScoreResult(ctx, m)
 		}
 	case TagAccuse:
 		if m, ok := msg.Payload.(AccuseMsg); ok {
@@ -347,8 +361,11 @@ func (n *Node) Handle(ctx *simnet.Context, msg simnet.Message) {
 			n.onApprove(ctx, m)
 		}
 	case TagEvictReq:
-		if m, ok := msg.Payload.(EvictReqMsg); ok {
+		switch m := msg.Payload.(type) {
+		case EvictReqMsg:
 			n.onEvictReq(ctx, m)
+		case AggEvictReqMsg:
+			n.onAggEvictReq(ctx, m)
 		}
 	case TagNewLeader:
 		if m, ok := msg.Payload.(NewLeaderMsg); ok {
@@ -363,8 +380,12 @@ func (n *Node) Handle(ctx *simnet.Context, msg simnet.Message) {
 			n.onBlock(ctx, m)
 		}
 	case TagUTXOFinal:
-		if m, ok := msg.Payload.(UTXOFinalMsg); ok {
+		switch m := msg.Payload.(type) {
+		case UTXOFinalMsg:
 			n.onUTXOFinal(ctx, m)
+		case AggUTXOFinalMsg:
+			// Recorded for completeness, exactly like the per-voter form.
+			_ = m
 		}
 	}
 }

@@ -1,0 +1,236 @@
+package protocol
+
+import (
+	"cycledger/internal/consensus"
+	"cycledger/internal/crypto"
+	"cycledger/internal/simnet"
+)
+
+// Aggregate-certificate mode (Params.AggregateCerts): the send paths in
+// node_phases.go branch here to replace per-voter Confirm lists with one
+// bitmap + proof (consensus.AggResult) before a certificate crosses
+// committees, and the receive paths verify the aggregate against the same
+// roster VerifyCert would have used, then store the legacy message shape so
+// everything downstream of verification (C_R's joint view, block assembly,
+// score application) is untouched. Committee broadcasts additionally route
+// over the binomial dissemination tree (simnet.TreeChildren), making leader
+// egress O(log C) sends.
+
+// aggScheme returns the aggregate face of the configured scheme, or nil
+// when aggregate mode is off. Params.Validate guarantees the assertion
+// succeeds whenever AggregateCerts is set.
+func (n *Node) aggScheme() consensus.AggregateScheme {
+	if !n.eng.P.AggregateCerts {
+		return nil
+	}
+	as, _ := n.eng.P.Scheme.(consensus.AggregateScheme)
+	return as
+}
+
+// aggCert folds a just-decided certificate into aggregate form over the
+// given roster. ok is false when aggregate mode is off or the fold fails
+// (it cannot for certificates our own consensus instance produced).
+func (n *Node) aggCert(res consensus.Result, members []simnet.NodeID) (consensus.AggResult, bool) {
+	as := n.aggScheme()
+	if as == nil {
+		return consensus.AggResult{}, false
+	}
+	ar, err := consensus.AggregateResult(as, res, members)
+	if err != nil {
+		return consensus.AggResult{}, false
+	}
+	return ar, true
+}
+
+// onAggIntraResult is the aggregate twin of onIntraResult: verify the
+// bitmap + proof against the carried roster, then store the legacy shape.
+func (n *Node) onAggIntraResult(ctx *simnet.Context, m AggIntraResultMsg) {
+	if n.role != RoleReferee {
+		return
+	}
+	as := n.aggScheme()
+	if as == nil {
+		return
+	}
+	if err := consensus.VerifyAggCert(as, m.Result, m.Members, n.eng.pkOf); err != nil {
+		return
+	}
+	if _, dup := n.crIntra[m.Committee]; dup {
+		return
+	}
+	n.crIntra[m.Committee] = &IntraResultMsg{Committee: m.Committee, Result: m.Result.Result(), Members: m.Members}
+}
+
+// onAggScoreResult is the aggregate twin of onScoreResult.
+func (n *Node) onAggScoreResult(ctx *simnet.Context, m AggScoreResultMsg) {
+	if n.role != RoleReferee {
+		return
+	}
+	as := n.aggScheme()
+	if as == nil {
+		return
+	}
+	if err := consensus.VerifyAggCert(as, m.Result, m.Members, n.eng.pkOf); err != nil {
+		return
+	}
+	if _, dup := n.crScores[m.Committee]; dup {
+		return
+	}
+	n.crScores[m.Committee] = &ScoreResultMsg{Committee: m.Committee, Result: m.Result.Result(), Members: m.Members}
+}
+
+// onAggInterFwd is the aggregate twin of onInterFwd: same role logic
+// (leader proposes the incoming instance, partial members run the Lemma 7
+// fallback), with the certificate checked in aggregate form and the
+// fallback re-sending the aggregate message, so the leader's own handler
+// can re-verify it.
+func (n *Node) onAggInterFwd(ctx *simnet.Context, m AggInterFwdMsg) {
+	if m.To != n.comID || m.Round != n.eng.round {
+		return
+	}
+	if n.Behavior.ConcealCross && n.role == RoleLeader {
+		return
+	}
+	as := n.aggScheme()
+	if as == nil {
+		return
+	}
+	if err := consensus.VerifyAggCert(as, m.Cert, m.Members, n.eng.pkOf); err != nil {
+		return
+	}
+	if _, dup := n.interFwds[m.From]; dup {
+		return
+	}
+	mm := m
+	n.interFwds[m.From] = &InterFwdMsg{Round: m.Round, From: m.From, To: m.To, Txs: m.Txs, Cert: m.Cert.Result(), Members: m.Members}
+
+	switch n.role {
+	case RoleLeader:
+		payload := InterPayload{From: m.From, Txs: m.Txs}
+		if p := n.consFor(n.ID); p != nil {
+			p.Propose(ctx, snInterInBase+m.From, payload.Digest(), payload, payload.WireSize())
+		}
+	case RolePartial:
+		if n.eng.P.DisableRecovery {
+			return
+		}
+		src := m.From
+		wait := 2 * n.eng.lat.Gamma
+		ctx.After(wait, func(c *simnet.Context) {
+			if n.leaderProposedInterIn(src) {
+				return
+			}
+			c.Send(n.curLeader, TagInterFwd, mm, mm.WireSize())
+			c.After(wait, func(c2 *simnet.Context) {
+				if n.leaderProposedInterIn(src) {
+					return
+				}
+				if n.isFirstPartial() {
+					payload := InterPayload{From: src, Txs: mm.Txs}
+					if p := n.consFor(n.ID); p != nil {
+						p.Propose(c2, snInterInBase+src, payload.Digest(), payload, payload.WireSize())
+					}
+				}
+			})
+		})
+	}
+}
+
+// onAggInterResult is the aggregate twin of onInterResult. The per-voter
+// path stores round trips without re-verifying (C_R accepted the list via
+// its own instance bookkeeping), so the aggregate path mirrors that and
+// only converts shape.
+func (n *Node) onAggInterResult(ctx *simnet.Context, m AggInterResultMsg) {
+	if m.Round != n.eng.round {
+		return
+	}
+	legacy := InterResultMsg{Round: m.Round, From: m.From, To: m.To, Result: m.Result.Result()}
+	switch {
+	case n.role == RoleReferee:
+		key := interKey(m.From, m.To)
+		if _, dup := n.crInter[key]; dup {
+			return
+		}
+		n.crInter[key] = &legacy
+	case n.role == RoleLeader && m.From == n.comID:
+		n.interResults[m.To] = &legacy
+	}
+}
+
+// onAggEvictReq is the aggregate twin of onEvictReq: the witness checks are
+// identical; the >c/2 approval list is replaced by a bitmap over the
+// committee roster order plus one aggregate proof of the ApproveMsg
+// signatures.
+func (n *Node) onAggEvictReq(ctx *simnet.Context, m AggEvictReqMsg) {
+	if n.role != RoleReferee || m.Round != n.eng.round {
+		return
+	}
+	as := n.aggScheme()
+	if as == nil {
+		return
+	}
+	if n.eng.coordinatorFor(m.Committee) != n.ID {
+		return
+	}
+	if ev, done := n.crEvicted[m.Committee]; done && n.eng.roster.Leaders[m.Committee] != ev.Successor {
+		return
+	}
+	leader := n.eng.roster.Leaders[m.Committee]
+	if m.Witness.Kind != "silence" && !m.Witness.Verify(n.eng.P.Scheme, n.eng.pkOf(leader)) {
+		return
+	}
+	members := n.eng.roster.Committee(m.Committee)
+	if m.Bitmap.Validate(len(members)) != nil {
+		return
+	}
+	if 2*m.Bitmap.Count() <= len(members) {
+		return
+	}
+	pks := make([]crypto.PublicKey, len(members))
+	for i, id := range members {
+		pks[i] = n.eng.pkOf(id)
+	}
+	if as.VerifyAggregate(pks, m.Bitmap, m.approveMsgAt(members), m.Proof) != nil {
+		return
+	}
+	n.proposeEviction(ctx, m.Committee, m.Witness)
+}
+
+// treeMode reports whether committee broadcasts use the dissemination tree
+// (tied to aggregate mode: both are the O(log n) traffic profile).
+func (n *Node) treeMode() bool { return n.eng.P.AggregateCerts }
+
+// treeRanks fixes the rank order for a committee dissemination tree: the
+// root (the current leader) at rank 0, then the remaining members in
+// roster order. Both the sender and every relay compute the same order
+// from shared round state, so no rank information travels on the wire.
+func treeRanks(root simnet.NodeID, members []simnet.NodeID) []simnet.NodeID {
+	out := make([]simnet.NodeID, 0, len(members))
+	out = append(out, root)
+	for _, id := range members {
+		if id != root {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// treeRelay sends the message to this node's children in the committee's
+// binomial broadcast tree rooted at root — the leader's O(log C) egress
+// and every relay's forwarding step.
+func (n *Node) treeRelay(ctx *simnet.Context, root simnet.NodeID, tag string, payload any, size int) {
+	ranks := treeRanks(root, n.committeeNodes)
+	my := -1
+	for i, id := range ranks {
+		if id == n.ID {
+			my = i
+			break
+		}
+	}
+	if my < 0 {
+		return
+	}
+	for _, c := range simnet.TreeChildren(my, len(ranks)) {
+		ctx.Send(ranks[c], tag, payload, size)
+	}
+}

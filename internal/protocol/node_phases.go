@@ -107,17 +107,30 @@ func (n *Node) startIntra(ctx *simnet.Context, attempt int) {
 	msg := TxListMsg{Round: n.eng.round, Committee: n.comID, Attempt: attempt, Txs: txs}
 	msg.Sig = n.eng.P.Scheme.Sign(n.Keys, u64(msg.Round), u64(msg.Committee), u64(uint64(attempt)))
 	size := msg.WireSize()
-	for _, id := range n.committeeNodes {
-		if id != n.ID {
-			ctx.Send(id, TagTxList, msg, size)
+	if n.treeMode() {
+		// O(log C) egress: send only to the tree children; receivers relay
+		// (onTxList) down their own subtrees.
+		n.treeRelay(ctx, n.ID, TagTxList, msg, size)
+	} else {
+		for _, id := range n.committeeNodes {
+			if id != n.ID {
+				ctx.Send(id, TagTxList, msg, size)
+			}
 		}
 	}
 	// The leader votes too.
 	n.votes = make(map[simnet.NodeID]reputation.VoteVector)
 	n.voteOrder = nil
 	n.recordVote(n.ID, n.voteOnTxs(txs))
-	// Collection deadline: 6Δ (§IV-C step 4).
+	// Collection deadline: 6Δ (§IV-C step 4). Tree dissemination adds up
+	// to ⌈log₂ C⌉ relay hops before the list reaches the deepest member,
+	// so the deadline stretches by that many Δ in tree mode; fault-free
+	// rounds are unaffected — the leader concludes on the last vote, not
+	// the deadline.
 	deadline := 6 * n.eng.lat.Delta
+	if n.treeMode() {
+		deadline += simnet.Time(simnet.TreeDepth(len(n.committeeNodes))) * n.eng.lat.Delta
+	}
 	ctx.After(deadline, func(c *simnet.Context) {
 		n.finishIntra(c, attempt)
 	})
@@ -127,6 +140,15 @@ func (n *Node) startIntra(ctx *simnet.Context, attempt int) {
 func (n *Node) onTxList(ctx *simnet.Context, m TxListMsg) {
 	if m.Committee != n.comID || m.Round != n.eng.round {
 		return
+	}
+	if n.treeMode() && (n.txList == nil || n.txList.Attempt != m.Attempt) {
+		// First sight of this list (or of a recovery re-run): forward it
+		// down this node's subtree before voting, so the whole committee is
+		// reached in ≤ ⌈log₂ C⌉ hops. A crashed relay silences exactly its
+		// subtree, whose members then corroborate the intra silence
+		// watchdog (txList == nil) — the fault model sees tree faults with
+		// no extra machinery.
+		n.treeRelay(ctx, n.curLeader, TagTxList, m, m.WireSize())
 	}
 	mm := m
 	n.txList = &mm
@@ -520,12 +542,28 @@ func (n *Node) onConsensusDecide(ctx *simnet.Context, res consensus.Result) {
 		if payload, ok := res.Payload.(IntraPayload); ok {
 			n.intraDecided = &payload
 		}
+		if ar, ok := n.aggCert(res, n.committeeNodes); ok {
+			msg := AggIntraResultMsg{Committee: n.comID, Result: ar, Members: n.committeeNodes}
+			size := msg.WireSize()
+			for _, rm := range n.eng.roster.Referee {
+				ctx.Send(rm, TagIntraResult, msg, size)
+			}
+			return
+		}
 		msg := IntraResultMsg{Committee: n.comID, Result: res, Members: n.committeeNodes}
 		size := msg.WireSize()
 		for _, rm := range n.eng.roster.Referee {
 			ctx.Send(rm, TagIntraResult, msg, size)
 		}
 	case res.SN == snScore:
+		if ar, ok := n.aggCert(res, n.committeeNodes); ok {
+			msg := AggScoreResultMsg{Committee: n.comID, Result: ar, Members: n.committeeNodes}
+			size := msg.WireSize()
+			for _, rm := range n.eng.roster.Referee {
+				ctx.Send(rm, TagScoreResult, msg, size)
+			}
+			return
+		}
 		msg := ScoreResultMsg{Committee: n.comID, Result: res, Members: n.committeeNodes}
 		size := msg.WireSize()
 		for _, rm := range n.eng.roster.Referee {
@@ -535,6 +573,15 @@ func (n *Node) onConsensusDecide(ctx *simnet.Context, res consensus.Result) {
 		j := res.SN - snInterOutBase
 		payload, ok := res.Payload.(InterPayload)
 		if !ok {
+			return
+		}
+		if ar, ok := n.aggCert(res, n.committeeNodes); ok {
+			fwd := AggInterFwdMsg{Round: n.eng.round, From: n.comID, To: j, Txs: payload.Txs, Cert: ar, Members: n.committeeNodes}
+			size := fwd.WireSize()
+			ctx.Send(n.eng.roster.Leaders[j], TagInterFwd, fwd, size)
+			for _, pm := range n.eng.roster.Partials[j] {
+				ctx.Send(pm, TagInterFwd, fwd, size)
+			}
 			return
 		}
 		fwd := InterFwdMsg{Round: n.eng.round, From: n.comID, To: j, Txs: payload.Txs, Cert: res, Members: n.committeeNodes}
@@ -547,6 +594,15 @@ func (n *Node) onConsensusDecide(ctx *simnet.Context, res consensus.Result) {
 		i := res.SN - snInterInBase
 		if payload, ok := res.Payload.(InterPayload); ok {
 			n.interDecided[i] = &payload
+		}
+		if ar, ok := n.aggCert(res, n.committeeNodes); ok {
+			msg := AggInterResultMsg{Round: n.eng.round, From: i, To: n.comID, Result: ar}
+			size := msg.WireSize()
+			ctx.Send(n.eng.roster.Leaders[i], TagInterResult, msg, size)
+			for _, rm := range n.eng.roster.Referee {
+				ctx.Send(rm, TagInterResult, msg, size)
+			}
+			return
 		}
 		msg := InterResultMsg{Round: n.eng.round, From: i, To: n.comID, Result: res}
 		size := msg.WireSize()
@@ -574,6 +630,13 @@ func (n *Node) onConsensusDecide(ctx *simnet.Context, res consensus.Result) {
 		// propagation burden.
 	case res.SN == snUTXO:
 		if payload, ok := res.Payload.(UTXOPayload); ok {
+			if ar, ok := n.aggCert(res, n.committeeNodes); ok {
+				msg := AggUTXOFinalMsg{Round: n.eng.round, Committee: n.comID, Digest: payload.UTXO, Result: ar}
+				for _, rm := range n.eng.roster.Referee {
+					ctx.Send(rm, TagUTXOFinal, msg, msg.WireSize())
+				}
+				return
+			}
 			msg := UTXOFinalMsg{Round: n.eng.round, Committee: n.comID, Digest: payload.UTXO, Result: res}
 			for _, rm := range n.eng.roster.Referee {
 				ctx.Send(rm, TagUTXOFinal, msg, msg.WireSize())
@@ -621,11 +684,21 @@ func (n *Node) onBlock(ctx *simnet.Context, m BlockMsg) {
 		return
 	}
 	n.block = m.Block
+	if n.treeMode() && n.role != RoleLeader && n.role != RoleReferee && n.role != RoleIdle {
+		// Tree mode: committee members relay the block down their subtree
+		// (referees keep their own propagation path untouched).
+		n.treeRelay(ctx, n.curLeader, TagBlock, m, m.WireSize())
+	}
 	if n.role == RoleLeader && !n.Behavior.Offline {
-		// Leaders forward the block inside their committee.
-		for _, id := range n.committeeNodes {
-			if id != n.ID {
-				ctx.Send(id, TagBlock, m, m.WireSize())
+		// Leaders forward the block inside their committee — tree children
+		// only in tree mode, the full roster otherwise.
+		if n.treeMode() {
+			n.treeRelay(ctx, n.ID, TagBlock, m, m.WireSize())
+		} else {
+			for _, id := range n.committeeNodes {
+				if id != n.ID {
+					ctx.Send(id, TagBlock, m, m.WireSize())
+				}
 			}
 		}
 		// Agree on the final shard-UTXO digest.

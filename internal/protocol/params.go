@@ -81,6 +81,17 @@ type Params struct {
 	// the fault-free implementation.
 	Faults *FaultsConfig
 
+	// AggregateCerts switches every cross-committee certificate — intra/
+	// score/inter results, the UTXO finality vote, and eviction approval
+	// sets — from the per-voter Confirm list to one constant-size aggregate
+	// proof plus a voter bitmap (consensus.AggResult), and routes committee
+	// broadcasts (transaction lists, block propagation) over a binomial
+	// dissemination tree so leader egress is O(log C) sends instead of
+	// O(C). Requires a Scheme that implements consensus.AggregateScheme.
+	// Decisions, rewards, and recoveries are unchanged — only traffic
+	// shape; the equivalence is pinned by tests.
+	AggregateCerts bool
+
 	// Transport builds the network the engine runs over; nil selects the
 	// deterministic simulator (transport.SimFactory). Alternative
 	// factories — the live transport with real concurrent node processes —
@@ -164,6 +175,11 @@ func (p Params) Validate() error {
 	}
 	if p.Scheme == nil {
 		return fmt.Errorf("protocol: nil signature scheme")
+	}
+	if p.AggregateCerts {
+		if _, ok := p.Scheme.(consensus.AggregateScheme); !ok {
+			return fmt.Errorf("protocol: AggregateCerts requires a scheme implementing consensus.AggregateScheme (got %T)", p.Scheme)
+		}
 	}
 	if err := p.Faults.Validate(); err != nil {
 		return err

@@ -112,6 +112,15 @@ func (n *Node) onApprove(ctx *simnet.Context, m ApproveMsg) {
 		return
 	}
 	n.escalated = true
+	if as := n.aggScheme(); as != nil {
+		if req, ok := n.aggEvictReq(as); ok {
+			size := req.WireSize()
+			for _, rm := range n.eng.roster.Referee {
+				ctx.Send(rm, TagEvictReq, req, size)
+			}
+			return
+		}
+	}
 	req := EvictReqMsg{
 		Round:     n.eng.round,
 		Committee: n.comID,
@@ -123,6 +132,46 @@ func (n *Node) onApprove(ctx *simnet.Context, m ApproveMsg) {
 	for _, rm := range n.eng.roster.Referee {
 		ctx.Send(rm, TagEvictReq, req, size)
 	}
+}
+
+// aggEvictReq folds the accuser's collected approvals into the aggregate
+// eviction request: a bitmap over the committee roster order plus one
+// aggregate proof of the ApproveMsg signatures (verified by onAggEvictReq
+// against the same roster).
+func (n *Node) aggEvictReq(as consensus.AggregateScheme) (AggEvictReqMsg, bool) {
+	members := n.eng.roster.Committee(n.comID)
+	pos := make(map[simnet.NodeID]int, len(members))
+	for i, id := range members {
+		pos[id] = i
+	}
+	bm := consensus.NewBitmap(len(members))
+	byPos := make(map[int][]byte, len(n.myApprovals))
+	for _, ap := range n.myApprovals {
+		i, ok := pos[ap.Voter]
+		if !ok || bm.Has(i) {
+			continue
+		}
+		bm.Set(i)
+		byPos[i] = ap.Sig
+	}
+	sigs := make([][]byte, 0, len(byPos))
+	for i := range members {
+		if bm.Has(i) {
+			sigs = append(sigs, byPos[i])
+		}
+	}
+	proof, err := as.Aggregate(sigs)
+	if err != nil {
+		return AggEvictReqMsg{}, false
+	}
+	return AggEvictReqMsg{
+		Round:     n.eng.round,
+		Committee: n.comID,
+		Accuser:   n.ID,
+		Witness:   n.myAccusation.Witness,
+		Bitmap:    bm,
+		Proof:     proof,
+	}, true
 }
 
 // onEvictReq is the referee side: the committee's coordinator verifies the

@@ -426,6 +426,45 @@ func decodeAny(r *reader) any {
 			}
 		}
 		return m
+	case TagAggResult:
+		m := consensus.AggResult{Round: r.u64("round"), SN: r.u64("sn")}
+		m.Digest = r.digest("digest")
+		m.Payload = decodeAny(r)
+		m.Bitmap = consensus.Bitmap(r.bytes("bitmap"))
+		m.Proof = r.bytes("proof")
+		return m
+	case TagAggIntraResult:
+		m := protocol.AggIntraResultMsg{Committee: r.u64("committee")}
+		m.Result = expect[consensus.AggResult](r, "result")
+		m.Members = r.nodes("members")
+		return m
+	case TagAggScoreResult:
+		m := protocol.AggScoreResultMsg{Committee: r.u64("committee")}
+		m.Result = expect[consensus.AggResult](r, "result")
+		m.Members = r.nodes("members")
+		return m
+	case TagAggInterFwd:
+		m := protocol.AggInterFwdMsg{Round: r.u64("round"), From: r.u64("from"), To: r.u64("to")}
+		m.Txs = r.txs("txs")
+		m.Cert = expect[consensus.AggResult](r, "cert")
+		m.Members = r.nodes("members")
+		return m
+	case TagAggInterResult:
+		m := protocol.AggInterResultMsg{Round: r.u64("round"), From: r.u64("from"), To: r.u64("to")}
+		m.Result = expect[consensus.AggResult](r, "result")
+		return m
+	case TagAggUTXOFinal:
+		m := protocol.AggUTXOFinalMsg{Round: r.u64("round"), Committee: r.u64("committee")}
+		m.Digest = r.digest("digest")
+		m.Result = expect[consensus.AggResult](r, "result")
+		return m
+	case TagAggEvictReq:
+		m := protocol.AggEvictReqMsg{Round: r.u64("round"), Committee: r.u64("committee")}
+		m.Accuser = r.nodeID("accuser")
+		m.Witness = expect[protocol.RecoveryWitness](r, "witness")
+		m.Bitmap = consensus.Bitmap(r.bytes("bitmap"))
+		m.Proof = r.bytes("proof")
+		return m
 	case TagJoinRequest:
 		var m committee.JoinRequest
 		m.Rec = expect[committee.MemberRecord](r, "record")

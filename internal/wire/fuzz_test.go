@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"testing"
 
+	"cycledger/internal/consensus"
 	"cycledger/internal/ledger"
+	"cycledger/internal/protocol"
+	"cycledger/internal/simnet"
 	"cycledger/internal/wire"
 )
 
@@ -42,6 +45,63 @@ func FuzzDecode(f *testing.F) {
 		}
 		if n2 != len(enc) {
 			t.Fatalf("re-decode consumed %d of %d bytes", n2, len(enc))
+		}
+		enc2, err := wire.Encode(v2)
+		if err != nil {
+			t.Fatalf("re-decoded value %T does not encode: %v", v2, err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding is not a fixed point:\n first %x\nsecond %x", enc, enc2)
+		}
+	})
+}
+
+// FuzzDecodeAggCert drills into the aggregate-certificate frames: the seed
+// corpus is every Agg* fixture's encoding plus mutated bitmap/proof length
+// prefixes, and the contract matches FuzzDecode — no panic, no over-read,
+// and accepted input re-encodes to a canonical fixed point.
+func FuzzDecodeAggCert(f *testing.F) {
+	aggs := []any{
+		sampleAggResult(),
+		protocol.AggIntraResultMsg{Committee: 1, Result: sampleAggResult(), Members: []simnet.NodeID{1, 2, 3}},
+		protocol.AggScoreResultMsg{Committee: 1, Result: sampleAggResult(), Members: []simnet.NodeID{1, 2}},
+		protocol.AggInterFwdMsg{Round: 3, From: 0, To: 2, Txs: []*ledger.Tx{sampleTx(5)},
+			Cert: sampleAggResult(), Members: []simnet.NodeID{4, 5}},
+		protocol.AggInterResultMsg{Round: 3, From: 2, To: 0, Result: sampleAggResult()},
+		protocol.AggUTXOFinalMsg{Round: 3, Committee: 1, Digest: digestOf("utxo"), Result: sampleAggResult()},
+		protocol.AggEvictReqMsg{Round: 3, Committee: 1, Accuser: 9, Witness: sampleRecoveryWitness(),
+			Bitmap: consensus.Bitmap{0b0001_1011}, Proof: []byte("proof-evict")},
+	}
+	for _, v := range aggs {
+		enc, err := wire.Encode(v)
+		if err != nil {
+			f.Fatalf("Encode %T: %v", v, err)
+		}
+		f.Add(enc)
+		// Hostile variant: clobber the tail where bitmap/proof length
+		// prefixes live, so the corpus starts near the interesting edges.
+		if len(enc) > 8 {
+			bad := append([]byte(nil), enc...)
+			bad[len(bad)-5] = 0xff
+			bad[len(bad)-6] = 0xff
+			f.Add(bad)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, n, err := wire.Decode(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("Decode consumed %d of %d bytes", n, len(data))
+		}
+		enc, err := wire.Encode(v)
+		if err != nil {
+			t.Fatalf("decoded value %T does not re-encode: %v", v, err)
+		}
+		v2, n2, err := wire.Decode(enc)
+		if err != nil || n2 != len(enc) {
+			t.Fatalf("re-encoded value does not decode: n=%d err=%v", n2, err)
 		}
 		enc2, err := wire.Encode(v2)
 		if err != nil {

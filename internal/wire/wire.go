@@ -124,6 +124,20 @@ const (
 	TagMemberRecord uint16 = 34
 	// TagSolution frames pow.Solution.
 	TagSolution uint16 = 35
+	// TagAggResult frames consensus.AggResult.
+	TagAggResult uint16 = 36
+	// TagAggIntraResult frames protocol.AggIntraResultMsg.
+	TagAggIntraResult uint16 = 37
+	// TagAggScoreResult frames protocol.AggScoreResultMsg.
+	TagAggScoreResult uint16 = 38
+	// TagAggInterFwd frames protocol.AggInterFwdMsg.
+	TagAggInterFwd uint16 = 39
+	// TagAggInterResult frames protocol.AggInterResultMsg.
+	TagAggInterResult uint16 = 40
+	// TagAggUTXOFinal frames protocol.AggUTXOFinalMsg.
+	TagAggUTXOFinal uint16 = 41
+	// TagAggEvictReq frames protocol.AggEvictReqMsg.
+	TagAggEvictReq uint16 = 42
 )
 
 // ErrUnknownType reports an encode request for an unregistered Go type.
@@ -200,6 +214,20 @@ func SizeHint(v any) (int, error) {
 	case consensus.Witness:
 		return m.WireSize(), nil
 	case consensus.Result:
+		return m.WireSize(), nil
+	case consensus.AggResult:
+		return m.WireSize(), nil
+	case protocol.AggIntraResultMsg:
+		return m.WireSize(), nil
+	case protocol.AggScoreResultMsg:
+		return m.WireSize(), nil
+	case protocol.AggInterFwdMsg:
+		return m.WireSize(), nil
+	case protocol.AggInterResultMsg:
+		return m.WireSize(), nil
+	case protocol.AggUTXOFinalMsg:
+		return m.WireSize(), nil
+	case protocol.AggEvictReqMsg:
 		return m.WireSize(), nil
 	case committee.JoinRequest:
 		return m.WireSize(), nil
@@ -449,6 +477,69 @@ func AppendEncode(buf []byte, v any) ([]byte, error) {
 			}
 		}
 		return buf, nil
+	case consensus.AggResult:
+		buf = binary.BigEndian.AppendUint16(buf, TagAggResult)
+		buf = binary.BigEndian.AppendUint64(buf, m.Round)
+		buf = binary.BigEndian.AppendUint64(buf, m.SN)
+		buf = append(buf, m.Digest[:]...)
+		var err error
+		if buf, err = AppendEncode(buf, m.Payload); err != nil {
+			return nil, err
+		}
+		buf = appendBytes(buf, m.Bitmap)
+		return appendBytes(buf, m.Proof), nil
+	case protocol.AggIntraResultMsg:
+		buf = binary.BigEndian.AppendUint16(buf, TagAggIntraResult)
+		buf = binary.BigEndian.AppendUint64(buf, m.Committee)
+		var err error
+		if buf, err = AppendEncode(buf, m.Result); err != nil {
+			return nil, err
+		}
+		return appendNodes(buf, m.Members), nil
+	case protocol.AggScoreResultMsg:
+		buf = binary.BigEndian.AppendUint16(buf, TagAggScoreResult)
+		buf = binary.BigEndian.AppendUint64(buf, m.Committee)
+		var err error
+		if buf, err = AppendEncode(buf, m.Result); err != nil {
+			return nil, err
+		}
+		return appendNodes(buf, m.Members), nil
+	case protocol.AggInterFwdMsg:
+		buf = binary.BigEndian.AppendUint16(buf, TagAggInterFwd)
+		buf = binary.BigEndian.AppendUint64(buf, m.Round)
+		buf = binary.BigEndian.AppendUint64(buf, m.From)
+		buf = binary.BigEndian.AppendUint64(buf, m.To)
+		var err error
+		if buf, err = appendTxs(buf, m.Txs); err != nil {
+			return nil, err
+		}
+		if buf, err = AppendEncode(buf, m.Cert); err != nil {
+			return nil, err
+		}
+		return appendNodes(buf, m.Members), nil
+	case protocol.AggInterResultMsg:
+		buf = binary.BigEndian.AppendUint16(buf, TagAggInterResult)
+		buf = binary.BigEndian.AppendUint64(buf, m.Round)
+		buf = binary.BigEndian.AppendUint64(buf, m.From)
+		buf = binary.BigEndian.AppendUint64(buf, m.To)
+		return AppendEncode(buf, m.Result)
+	case protocol.AggUTXOFinalMsg:
+		buf = binary.BigEndian.AppendUint16(buf, TagAggUTXOFinal)
+		buf = binary.BigEndian.AppendUint64(buf, m.Round)
+		buf = binary.BigEndian.AppendUint64(buf, m.Committee)
+		buf = append(buf, m.Digest[:]...)
+		return AppendEncode(buf, m.Result)
+	case protocol.AggEvictReqMsg:
+		buf = binary.BigEndian.AppendUint16(buf, TagAggEvictReq)
+		buf = binary.BigEndian.AppendUint64(buf, m.Round)
+		buf = binary.BigEndian.AppendUint64(buf, m.Committee)
+		buf = appendNodeID(buf, m.Accuser)
+		var err error
+		if buf, err = AppendEncode(buf, m.Witness); err != nil {
+			return nil, err
+		}
+		buf = appendBytes(buf, m.Bitmap)
+		return appendBytes(buf, m.Proof), nil
 	case committee.JoinRequest:
 		buf = binary.BigEndian.AppendUint16(buf, TagJoinRequest)
 		return AppendEncode(buf, m.Rec)

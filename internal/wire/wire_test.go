@@ -80,6 +80,17 @@ func sampleResult() consensus.Result {
 	}
 }
 
+func sampleAggResult() consensus.AggResult {
+	return consensus.AggResult{
+		Round:   3,
+		SN:      9,
+		Digest:  digestOf("agg-result"),
+		Payload: protocol.InterPayload{From: 2, Txs: []*ledger.Tx{sampleTx(11)}},
+		Bitmap:  consensus.Bitmap{0b0000_0101},
+		Proof:   []byte("proof-agg"),
+	}
+}
+
 func sampleRecord(id simnet.NodeID) committee.MemberRecord {
 	return committee.MemberRecord{
 		Node:  id,
@@ -162,6 +173,15 @@ func fixtures() []any {
 		committee.MemListMsg{Records: []committee.MemberRecord{sampleRecord(3), sampleRecord(8)}},
 		sampleRecord(5),
 		pow.Solution{PK: crypto.PublicKey([]byte{1, 2, 3}), Nonce: 42},
+		sampleAggResult(),
+		protocol.AggIntraResultMsg{Committee: 1, Result: sampleAggResult(), Members: []simnet.NodeID{1, 2, 3}},
+		protocol.AggScoreResultMsg{Committee: 1, Result: sampleAggResult(), Members: []simnet.NodeID{1, 2}},
+		protocol.AggInterFwdMsg{Round: 3, From: 0, To: 2, Txs: []*ledger.Tx{sampleTx(5)},
+			Cert: sampleAggResult(), Members: []simnet.NodeID{4, 5}},
+		protocol.AggInterResultMsg{Round: 3, From: 2, To: 0, Result: sampleAggResult()},
+		protocol.AggUTXOFinalMsg{Round: 3, Committee: 1, Digest: digestOf("utxo"), Result: sampleAggResult()},
+		protocol.AggEvictReqMsg{Round: 3, Committee: 1, Accuser: 9, Witness: sampleRecoveryWitness(),
+			Bitmap: consensus.Bitmap{0b0001_1011}, Proof: []byte("proof-evict")},
 	}
 }
 
@@ -224,7 +244,7 @@ func TestRoundTrip(t *testing.T) {
 // knows, so a type added to the codec without a fixture fails loudly here.
 func TestTagCoverage(t *testing.T) {
 	want := map[uint16]bool{}
-	for tag := wire.TagNil; tag <= wire.TagSolution; tag++ {
+	for tag := wire.TagNil; tag <= wire.TagAggEvictReq; tag++ {
 		want[tag] = false
 	}
 	for _, v := range fixtures() {
@@ -283,6 +303,15 @@ func TestEngineSendSizesMatchCodec(t *testing.T) {
 	scenarios := map[string]func(*protocol.Params){
 		"default": func(p *protocol.Params) {},
 		"byzantine": func(p *protocol.Params) {
+			p.MaliciousFrac = 0.2
+			p.CorruptLeaders = true
+			p.ByzantineBehavior = protocol.Behavior{EquivocateIntra: true, ConcealCross: true}
+		},
+		"aggregate": func(p *protocol.Params) {
+			p.AggregateCerts = true
+		},
+		"aggregate byzantine": func(p *protocol.Params) {
+			p.AggregateCerts = true
 			p.MaliciousFrac = 0.2
 			p.CorruptLeaders = true
 			p.ByzantineBehavior = protocol.Behavior{EquivocateIntra: true, ConcealCross: true}

@@ -55,6 +55,12 @@ type Config struct {
 	Pipelined        bool `json:"pipelined"`
 	ParallelBlockGen bool `json:"parallel_block_gen"`
 
+	// AggregateCerts switches phase certificates to the aggregate form
+	// (one bitmap + constant-size proof instead of per-voter signature
+	// lists) and routes committee broadcasts over the binomial
+	// dissemination tree. Requires an aggregation-capable scheme ("hash").
+	AggregateCerts bool `json:"aggregate_certs"`
+
 	// Faults is the network fault model (message loss, beyond-bound lag,
 	// a healing partition, periodic churn); null is the fault-free engine.
 	// Sweep axes address its fields by dotted path, e.g. "faults.loss".
@@ -107,6 +113,7 @@ func (c Config) Params() (protocol.Params, error) {
 		PreScreenCross:    c.PreScreenCross,
 		Pipelined:         c.Pipelined,
 		ParallelBlockGen:  c.ParallelBlockGen,
+		AggregateCerts:    c.AggregateCerts,
 		Faults:            c.Faults.Clone(),
 		Transport:         factory,
 	}, nil
@@ -185,6 +192,7 @@ func configFromParams(p protocol.Params) (Config, error) {
 		PreScreenCross:   p.PreScreenCross,
 		Pipelined:        p.Pipelined,
 		ParallelBlockGen: p.ParallelBlockGen,
+		AggregateCerts:   p.AggregateCerts,
 		Faults:           p.Faults.Clone(),
 		Transport:        "sim",
 	}, nil

@@ -127,6 +127,14 @@ func WithParallelBlockGen(on bool) Option {
 	return func(b *builder) error { b.cfg.ParallelBlockGen = on; return nil }
 }
 
+// WithAggregateCerts toggles aggregate phase certificates (one bitmap +
+// constant-size proof instead of per-voter signature lists) plus the
+// binomial dissemination tree for committee broadcasts — the O(log n)
+// traffic profile. Requires an aggregation-capable scheme ("hash").
+func WithAggregateCerts(on bool) Option {
+	return func(b *builder) error { b.cfg.AggregateCerts = on; return nil }
+}
+
 // WithFaults installs the network fault model: iid message loss,
 // beyond-bound lag, a two-group partition with a heal tick, and periodic
 // node churn (see FaultsConfig). An active model also arms the protocol's

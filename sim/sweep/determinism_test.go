@@ -52,6 +52,7 @@ func TestSweepDeterministic(t *testing.T) {
 		Axes: []Axis{
 			{Field: "m", Values: []any{2, 3}},
 			{Field: "pipelined", Values: []any{false, true}},
+			{Field: "aggregate_certs", Values: []any{false, true}},
 		},
 		Seeds: 3,
 	}

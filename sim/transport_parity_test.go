@@ -66,6 +66,36 @@ func TestTransportParityByzantine(t *testing.T) {
 	}
 }
 
+// TestTransportParityAggregate extends the oracle check to aggregate
+// certificates: the Agg* frames and the tree-relayed broadcasts must cross
+// the live transport's wire codec losslessly and reproduce the simulator's
+// reports exactly, Duration included.
+func TestTransportParityAggregate(t *testing.T) {
+	run := func(transport string) []*sim.RoundReport {
+		t.Helper()
+		s, err := sim.New(small(
+			sim.WithAggregateCerts(true),
+			sim.WithTransport(transport),
+		)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		reports, err := s.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reports
+	}
+	want := run("sim")
+	got := run("live")
+	if !reflect.DeepEqual(want, got) {
+		wantJSON, _ := json.Marshal(want)
+		gotJSON, _ := json.Marshal(got)
+		t.Errorf("live transport diverges from the simulator under aggregate certs\n sim:  %s\n live: %s", wantJSON, gotJSON)
+	}
+}
+
 // TestTransportNameValidation checks the facade's transport plumbing:
 // unknown names fail, and combining the live transport with an active
 // fault model is rejected at construction with a pointer to the simulator.
