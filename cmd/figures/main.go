@@ -5,6 +5,7 @@
 //	go run ./cmd/figures -fig partialset   # (1/3)^λ security curve (§V-C)
 //	go run ./cmd/figures -fig throughput   # measured tx/round vs committee count m
 //	go run ./cmd/figures -fig resilience   # throughput + drops + timeouts vs message loss
+//	go run ./cmd/figures -fig frontier     # adaptive vs static adversary budget frontier
 package main
 
 import (
@@ -20,7 +21,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "4", "figure to emit: 4, 5, partialset, epochs, throughput, or resilience")
+	fig := flag.String("fig", "4", "figure to emit: 4, 5, partialset, epochs, throughput, resilience, or frontier")
 	n := flag.Int64("n", 2000, "population for fig 5")
 	t := flag.Int64("t", 666, "malicious nodes for fig 5")
 	rounds := flag.Int("rounds", 2, "rounds per point for the throughput sweep")
@@ -110,6 +111,48 @@ func main() {
 				p.Stats["tx_per_round"].Mean, p.Stats["dropped_per_round"].Mean,
 				p.Stats["dropped_bytes_per_round"].Mean,
 				p.Stats["late_per_round"].Mean, p.Stats["timeouts_per_round"].Mean)
+		}
+	case "frontier":
+		// The resilience frontier (PR 9): throughput, timeout verdicts, and
+		// completed recoveries as the adversary budget rises, the reactive
+		// planner (crash leaders, gray-fail the reputation top-k, bracket
+		// the intra deadline) next to the equal-budget oblivious arm. The
+		// base carries the full strategy set at budget 0 — the fault-free
+		// baseline — and the axes overlay only the budget and the arm.
+		base, err := sim.Resolve(
+			sim.WithRounds(*rounds),
+			sim.WithFaults(sim.FaultsConfig{Adaptive: &sim.AdaptiveSpec{
+				CrashLeaders:     true,
+				GrayTopK:         true,
+				BracketDeadlines: true,
+			}}),
+		)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		g := sweep.Grid{
+			Base: base,
+			Axes: []sweep.Axis{
+				{Field: "faults.adaptive.static", Values: []any{false, true}},
+				{Field: "faults.adaptive.budget", Values: []any{0, 2, 4, 8, 12, 16}},
+			},
+			Seeds: *seeds,
+		}
+		res, err := sweep.Run(context.Background(), g)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Println("arm,budget,tx_per_round,timeouts_per_round,recoveries_per_round,dropped_per_round")
+		for _, p := range res.Points {
+			arm := "adaptive"
+			if p.Labels[0].Value == true {
+				arm = "static"
+			}
+			fmt.Printf("%s,%v,%.1f,%.2f,%.2f,%.1f\n", arm, p.Labels[1].Value,
+				p.Stats["tx_per_round"].Mean, p.Stats["timeouts_per_round"].Mean,
+				p.Stats["recoveries_per_round"].Mean, p.Stats["dropped_per_round"].Mean)
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "figures: unknown figure", *fig)

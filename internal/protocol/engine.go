@@ -131,8 +131,11 @@ type Engine struct {
 	// Fault-model state (see faults.go). faults is the installed simnet
 	// model (nil when fault-free); faultsActive additionally arms the
 	// silence watchdogs and the per-phase dropped-traffic accounting.
+	// adversary, when non-nil, is the reactive planner re-targeting its
+	// budget at each round boundary (see adversary.go).
 	faults       simnet.Faults
 	faultsActive bool
+	adversary    *adversaryPlanner
 }
 
 // InstallFaults installs an arbitrary simnet fault model and activates the
@@ -217,7 +220,22 @@ func NewEngine(p Params) (*Engine, error) {
 		e.Net.SetParallelism(p.Parallelism)
 	}
 	if p.Faults.Active() {
-		if err := e.InstallFaults(p.Faults.Build(p.TotalNodes(), p.Seed)); err != nil {
+		model := p.Faults.Build(p.TotalNodes(), p.Seed)
+		if a := p.Faults.Adaptive; a != nil && a.Budget > 0 {
+			// The adaptive spec compiles to an initially-empty plan plus a
+			// planner fed at round boundaries; static layers stack under it.
+			am := simnet.NewAdaptive()
+			e.adversary = newAdversaryPlanner(*a, am, p.TotalNodes(), e.lat.Gamma, p.Seed)
+			switch prev := model.(type) {
+			case nil:
+				model = am
+			case simnet.Composite:
+				model = append(prev, am)
+			default:
+				model = simnet.Composite{prev, am}
+			}
+		}
+		if err := e.InstallFaults(model); err != nil {
 			return nil, err
 		}
 	}
@@ -259,6 +277,7 @@ func NewEngine(p Params) (*Engine, error) {
 
 	e.randomness = crypto.H([]byte("cycledger/genesis"), u64(uint64(p.Seed)))
 	e.roster = e.bootstrapRoster()
+	e.roster.warm()
 	e.round = 1
 	return e, nil
 }
@@ -507,6 +526,13 @@ func (e *Engine) RunRound() (*RoundReport, error) {
 		RoleTraffic:  make(map[string]map[string]simnet.Counter),
 		Rewards:      make(map[string]uint64),
 	}
+	// The reactive adversary re-plans first: the roster is fixed, no
+	// traffic has moved, the network is idle — the snapshot point where
+	// appending fault windows cannot race in-flight evaluation. It reads
+	// the previous round's stage spans before roundStages resets them.
+	if e.adversary != nil {
+		e.adversary.replan(e.AdversaryView())
+	}
 	start := e.Net.Now()
 	dropStart := e.Net.Metrics().DroppedTotal()
 	lateStart := e.Net.Metrics().LateTotal()
@@ -531,6 +557,7 @@ func (e *Engine) RunRound() (*RoundReport, error) {
 
 	// Advance to the next round.
 	e.roster = e.nextRoster
+	e.roster.warm()
 	e.nextRoster = nil
 	e.round++
 	return report, nil

@@ -1,12 +1,14 @@
 package protocol
 
 import (
+	"errors"
 	"math"
 	"reflect"
 	"sync/atomic"
 	"testing"
 
 	"cycledger/internal/simnet"
+	"cycledger/internal/transport"
 )
 
 // TestFaultsConfigValidate covers the spec's structural rejections.
@@ -21,6 +23,26 @@ func TestFaultsConfigValidate(t *testing.T) {
 		{Churn: &ChurnSpec{Frac: 0.5}},                             // period missing
 		{Churn: &ChurnSpec{Frac: 0.5, Period: 100, Downtime: 100}}, // downtime ≥ period
 		{Churn: &ChurnSpec{Frac: -0.5, Period: 100, Downtime: 10}}, // negative frac
+		{Partition: &PartitionSpec{Split: 0.5, StartTick: -1}},
+		{Partition: &PartitionSpec{Split: 0.5, StartTick: 100, HealTick: 100}}, // heal ≤ start
+		{Partition: &PartitionSpec{Split: 0.5, StartTick: 100, HealTick: 40}},  // heal before start
+		{OneWay: &OneWayPartitionSpec{Split: 1.2}},
+		{OneWay: &OneWayPartitionSpec{Split: 0.5, StartTick: -1}},
+		{OneWay: &OneWayPartitionSpec{Split: 0.5, StartTick: 50, HealTick: 40}},
+		{Gray: &GraySpec{Frac: -0.1}},
+		{Gray: &GraySpec{Frac: 1.5}},
+		{Burst: &BurstLossSpec{PEnter: 1.2, PExit: 0.5, Loss: 0.5}},
+		{Burst: &BurstLossSpec{PEnter: 0.1, PExit: -0.5, Loss: 0.5}},
+		{Burst: &BurstLossSpec{PEnter: 0.1, PExit: 0.5, Loss: 1.5}},
+		{Burst: &BurstLossSpec{PEnter: 0.1, PExit: 0, Loss: 0.5}},                                           // permanent outage
+		{Churn: &ChurnSpec{Frac: 0.2, Period: 100, Downtime: 10, Windows: []WindowSpec{{From: 0, To: 10}}}}, // both schedules
+		{Churn: &ChurnSpec{Frac: 0.2, Windows: []WindowSpec{{From: -1, To: 10}}}},                           // negative start
+		{Churn: &ChurnSpec{Frac: 0.2, Windows: []WindowSpec{{From: 10, To: 5}}}},                            // ends before start
+		{Churn: &ChurnSpec{Frac: 0.2, Windows: []WindowSpec{{From: 10, To: 10}}}},                           // empty window
+		{Churn: &ChurnSpec{Frac: 0.2, Windows: []WindowSpec{{From: 0, To: 0}, {From: 10, To: 20}}}},         // open window not last
+		{Churn: &ChurnSpec{Frac: 0.2, Windows: []WindowSpec{{From: 0, To: 20}, {From: 10, To: 30}}}},        // overlap
+		{Adaptive: &AdaptiveSpec{Budget: -1}},
+		{Adaptive: &AdaptiveSpec{Budget: 3}}, // budget with no strategy
 	}
 	for i, f := range bad {
 		f := f
@@ -42,6 +64,19 @@ func TestFaultsConfigValidate(t *testing.T) {
 	if !good.Active() {
 		t.Fatal("composite config not active")
 	}
+	good2 := FaultsConfig{
+		OneWay:   &OneWayPartitionSpec{Split: 0.3, StartTick: 50, HealTick: 200},
+		Gray:     &GraySpec{Frac: 0.1},
+		Burst:    &BurstLossSpec{PEnter: 0.02, PExit: 0.2, Loss: 0.9},
+		Churn:    &ChurnSpec{Frac: 0.2, Windows: []WindowSpec{{From: 10, To: 40}, {From: 60, To: 0}}},
+		Adaptive: &AdaptiveSpec{Budget: 4, CrashLeaders: true, GrayTopK: true, BracketDeadlines: true},
+	}
+	if err := good2.Validate(); err != nil {
+		t.Fatalf("Validate rejected a well-formed extended config: %v", err)
+	}
+	if !good2.Active() {
+		t.Fatal("extended composite config not active")
+	}
 	var nilCfg *FaultsConfig
 	if err := nilCfg.Validate(); err != nil || nilCfg.Active() {
 		t.Fatal("nil config must validate and be inactive")
@@ -53,11 +88,22 @@ func TestFaultsConfigValidate(t *testing.T) {
 
 // TestFaultsConfigClone: clones must not share nested pointers.
 func TestFaultsConfigClone(t *testing.T) {
-	orig := &FaultsConfig{Loss: 0.1, Partition: &PartitionSpec{Split: 0.5}, Churn: &ChurnSpec{Frac: 0.1, Period: 10, Downtime: 2}}
+	orig := &FaultsConfig{Loss: 0.1, Partition: &PartitionSpec{Split: 0.5},
+		Churn:    &ChurnSpec{Frac: 0.1, Windows: []WindowSpec{{From: 5, To: 10}}},
+		OneWay:   &OneWayPartitionSpec{Split: 0.3},
+		Gray:     &GraySpec{Frac: 0.2},
+		Burst:    &BurstLossSpec{PEnter: 0.1, PExit: 0.5, Loss: 0.9},
+		Adaptive: &AdaptiveSpec{Budget: 4, CrashLeaders: true}}
 	c := orig.Clone()
 	c.Partition.Split = 0.9
 	c.Churn.Frac = 0.7
-	if orig.Partition.Split != 0.5 || orig.Churn.Frac != 0.1 {
+	c.Churn.Windows[0].To = 99
+	c.OneWay.Split = 0.8
+	c.Gray.Frac = 0.9
+	c.Burst.Loss = 0.1
+	c.Adaptive.Budget = 16
+	if orig.Partition.Split != 0.5 || orig.Churn.Frac != 0.1 || orig.Churn.Windows[0].To != 10 ||
+		orig.OneWay.Split != 0.3 || orig.Gray.Frac != 0.2 || orig.Burst.Loss != 0.9 || orig.Adaptive.Budget != 4 {
 		t.Fatalf("Clone shares nested pointers: %+v", orig)
 	}
 }
@@ -196,11 +242,12 @@ func (p *phaseCrash) Down(now simnet.Time, id simnet.NodeID) bool {
 
 // crashInPhase runs one round with committee 0's bootstrap leader crashed
 // the moment the given phase starts, and returns the round report.
-func crashInPhase(t *testing.T, phase string, pipelined bool) *RoundReport {
+func crashInPhase(t *testing.T, phase string, pipelined, aggregate bool) *RoundReport {
 	t.Helper()
 	p := DefaultParams()
 	p.Rounds = 1
 	p.Pipelined = pipelined
+	p.AggregateCerts = aggregate
 	e, err := NewEngine(p)
 	if err != nil {
 		t.Fatal(err)
@@ -227,32 +274,38 @@ func crashInPhase(t *testing.T, phase string, pipelined bool) *RoundReport {
 // behaviour — and that the reports are deterministic.
 func TestRecoveryMatrix(t *testing.T) {
 	phases := []string{"config", "semicommit", "intra", "inter", "score", "select", "block"}
-	for _, pipelined := range []bool{false, true} {
-		mode := "sequential"
-		if pipelined {
-			mode = "pipelined"
+	for _, aggregate := range []bool{false, true} {
+		certs := "flat"
+		if aggregate {
+			certs = "aggregate"
 		}
-		for _, phase := range phases {
-			phase := phase
-			t.Run(mode+"/"+phase, func(t *testing.T) {
-				r := crashInPhase(t, phase, pipelined)
-				found := false
-				for _, rec := range r.Recoveries {
-					if rec.Committee == 0 && rec.Kind == "silence" {
-						found = true
+		for _, pipelined := range []bool{false, true} {
+			mode := "sequential"
+			if pipelined {
+				mode = "pipelined"
+			}
+			for _, phase := range phases {
+				phase := phase
+				t.Run(certs+"/"+mode+"/"+phase, func(t *testing.T) {
+					r := crashInPhase(t, phase, pipelined, aggregate)
+					found := false
+					for _, rec := range r.Recoveries {
+						if rec.Committee == 0 && rec.Kind == "silence" {
+							found = true
+						}
 					}
-				}
-				if !found {
-					t.Fatalf("crash at %s start: no silence recovery for committee 0 (recoveries: %v, timeouts: %v)",
-						phase, r.Recoveries, r.Timeouts)
-				}
-				// Determinism: the same injection replays byte-identically.
-				again := crashInPhase(t, phase, pipelined)
-				a, b := *r, *again
-				if !reflect.DeepEqual(&a, &b) {
-					t.Fatalf("crash at %s start: reports diverged between identical runs:\n%+v\nvs\n%+v", phase, a, b)
-				}
-			})
+					if !found {
+						t.Fatalf("crash at %s start: no silence recovery for committee 0 (recoveries: %v, timeouts: %v)",
+							phase, r.Recoveries, r.Timeouts)
+					}
+					// Determinism: the same injection replays byte-identically.
+					again := crashInPhase(t, phase, pipelined, aggregate)
+					a, b := *r, *again
+					if !reflect.DeepEqual(&a, &b) {
+						t.Fatalf("crash at %s start: reports diverged between identical runs:\n%+v\nvs\n%+v", phase, a, b)
+					}
+				})
+			}
 		}
 	}
 }
@@ -406,6 +459,123 @@ func TestChainedRecoveryThroughCrashedSuccessor(t *testing.T) {
 	}
 }
 
+// adaptiveSpec is the full-strategy reactive configuration the frontier
+// tests run: crash leaders, gray-fail the reputation top-k, bracket the
+// intra deadline with leader→referee cuts.
+func adaptiveSpec(budget int) *FaultsConfig {
+	return &FaultsConfig{Adaptive: &AdaptiveSpec{
+		Budget:           budget,
+		CrashLeaders:     true,
+		GrayTopK:         true,
+		BracketDeadlines: true,
+	}}
+}
+
+// TestAdaptiveAdversaryDeterminism: the reactive planner's runs are
+// byte-identical across simnet parallelism, sequential and pipelined —
+// re-planning at round boundaries compiles to the same pure Fate/Down
+// plan no matter how the worker pool schedules events.
+func TestAdaptiveAdversaryDeterminism(t *testing.T) {
+	for _, pipelined := range []bool{false, true} {
+		mode := "sequential"
+		if pipelined {
+			mode = "pipelined"
+		}
+		t.Run(mode, func(t *testing.T) {
+			var want string
+			for i, par := range []int{1, 4, 0} {
+				p := DefaultParams()
+				p.Rounds = 2
+				p.Pipelined = pipelined
+				p.Parallelism = par
+				p.Faults = adaptiveSpec(6)
+				_, reports := runEngine(t, p)
+				got := renderReports(reports)
+				if i == 0 {
+					want = got
+				} else if got != want {
+					t.Fatalf("adaptive run diverged between parallelism 1 and %d:\n%s\nvs\n%s", par, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestAdaptiveDegradesMoreThanStatic pins the resilience frontier's
+// headline property: at equal budget, the reactive adversary (crashing
+// the leaders it just watched win) must hurt strictly more than the
+// oblivious arm (the same budget spent on seed-random crashes) — lower
+// committed throughput and more timeout verdicts.
+func TestAdaptiveDegradesMoreThanStatic(t *testing.T) {
+	const budget = 8
+	run := func(static bool) (tx, timeouts, recoveries int) {
+		p := DefaultParams()
+		p.Rounds = 3
+		p.Faults = adaptiveSpec(budget)
+		p.Faults.Adaptive.Static = static
+		_, reports := runEngine(t, p)
+		for _, r := range reports {
+			tx += r.Throughput()
+			timeouts += len(r.Timeouts)
+			recoveries += len(r.Recoveries)
+		}
+		return
+	}
+	aTx, aTo, aRec := run(false)
+	sTx, sTo, _ := run(true)
+	if aTx >= sTx {
+		t.Fatalf("adaptive adversary (tx=%d) did not degrade throughput below equal-budget static (tx=%d)", aTx, sTx)
+	}
+	if aTo <= sTo {
+		t.Fatalf("adaptive adversary (timeouts=%d) did not force more timeouts than static (timeouts=%d)", aTo, sTo)
+	}
+	if aRec == 0 {
+		t.Fatal("adaptive attack triggered no recovery at all — watchdogs asleep?")
+	}
+}
+
+// TestAdaptiveSmallBudgetAbsorbedByRecovery: the frontier's other regime —
+// with budget below the committee count, eviction machinery absorbs the
+// targeted crashes (recoveries fire, the run still commits every round).
+func TestAdaptiveSmallBudgetAbsorbedByRecovery(t *testing.T) {
+	p := DefaultParams()
+	p.Rounds = 3
+	p.Faults = adaptiveSpec(2)
+	_, reports := runEngine(t, p)
+	var recoveries int
+	for _, r := range reports {
+		if r.Throughput() == 0 {
+			t.Fatalf("round %d committed nothing under a budget-2 adaptive adversary", r.Round)
+		}
+		recoveries += len(r.Recoveries)
+	}
+	if recoveries == 0 {
+		t.Fatal("budget-2 leader crashes triggered no recovery")
+	}
+}
+
+// stubCodec satisfies transport.Codec without encoding anything; the
+// live-transport rejection below fails at fault installation, before any
+// message is framed.
+type stubCodec struct{}
+
+func (stubCodec) SizeHint(any) (int, error)                { return 0, errors.New("stub codec") }
+func (stubCodec) AppendEncode([]byte, any) ([]byte, error) { return nil, errors.New("stub codec") }
+func (stubCodec) Decode([]byte) (any, int, error)          { return nil, 0, errors.New("stub codec") }
+
+// TestAdaptiveLiveTransportRefused: the live transport cannot honour any
+// fault model, adaptive included — engine construction must fail rather
+// than silently run the scenario fault-free.
+func TestAdaptiveLiveTransportRefused(t *testing.T) {
+	p := DefaultParams()
+	p.Rounds = 1
+	p.Transport = transport.LiveFactory(stubCodec{})
+	p.Faults = adaptiveSpec(4)
+	if _, err := NewEngine(p); err == nil {
+		t.Fatal("NewEngine accepted an adaptive fault model on the live transport")
+	}
+}
+
 // TestSemiCommitCrashRecoversInPhase: a leader that crashes at the start
 // of the semi-commitment exchange is replaced within that phase — the
 // C_R coordinator detects the missing announcement directly (common
@@ -419,7 +589,7 @@ func TestSemiCommitCrashRecoversInPhase(t *testing.T) {
 			mode = "pipelined"
 		}
 		t.Run(mode, func(t *testing.T) {
-			r := crashInPhase(t, "semicommit", pipelined)
+			r := crashInPhase(t, "semicommit", pipelined, false)
 			found := false
 			for _, rec := range r.Recoveries {
 				if rec.Committee == 0 && rec.Kind == "silence" {

@@ -136,6 +136,12 @@ func (e *Engine) applyEvictions(report *RoundReport) []uint64 {
 		// the config phase; it re-announces in the next attempt.
 		affected = append(affected, k)
 	}
+	if len(affected) > 0 {
+		// ReplaceLeader invalidated the roster's cached role indexes;
+		// rebuild them here, while the network is idle, so the handlers
+		// of the re-run step never race on the lazy rebuild.
+		e.roster.warm()
+	}
 	return affected
 }
 

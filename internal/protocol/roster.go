@@ -73,6 +73,22 @@ func (r *Roster) invalidate() {
 	r.cCommons = nil
 }
 
+// warm eagerly rebuilds every cached role index. The lazy rebuild in the
+// accessors is not goroutine-safe, so the engine calls warm on its
+// single-threaded round-driving goroutine whenever the live roster
+// changes — at install on a round boundary and after mid-round leader
+// evictions — guaranteeing the parallel message handlers only ever read
+// already-built caches.
+func (r *Roster) warm() {
+	for k := uint64(0); k < r.M; k++ {
+		r.Committee(k)
+		r.KeyMembers(k)
+	}
+	r.AllKeyMembers()
+	r.AllNodes()
+	r.CommonsOfAll()
+}
+
 func newRoster(round uint64, randomness crypto.Digest, m uint64) *Roster {
 	return &Roster{
 		Round:      round,

@@ -110,18 +110,28 @@ func (l *Lag) Fate(Time, NodeID, NodeID) Fate {
 func (l *Lag) Down(Time, NodeID) bool { return false }
 
 // Partition splits the population into groups that cannot exchange
-// messages until the partition heals. Nodes not listed in any group form
-// one implicit extra group (they can talk to each other, but not across
-// the cut). Construct with NewPartition.
+// messages while the cut is in effect: from startAt (0 = the beginning)
+// until the partition heals. Nodes not listed in any group form one
+// implicit extra group (they can talk to each other, but not across the
+// cut). Construct with NewPartition or NewPartitionAt.
 type Partition struct {
-	group  map[NodeID]int
-	healAt Time // 0 = never heals
+	group   map[NodeID]int
+	startAt Time // cut effective from this tick (0 = from the start)
+	healAt  Time // 0 = never heals
 }
 
-// NewPartition builds a partition from explicit groups, healing at healAt
-// (0 = never). A node listed twice keeps its first group.
+// NewPartition builds a partition from explicit groups, effective from
+// the start and healing at healAt (0 = never). A node listed twice keeps
+// its first group.
 func NewPartition(groups [][]NodeID, healAt Time) *Partition {
-	p := &Partition{group: make(map[NodeID]int), healAt: healAt}
+	return NewPartitionAt(groups, 0, healAt)
+}
+
+// NewPartitionAt builds a partition whose cut takes effect at startAt and
+// heals at healAt (0 = never). Callers must order startAt before healAt;
+// the config layer rejects specs that heal before they start.
+func NewPartitionAt(groups [][]NodeID, startAt, healAt Time) *Partition {
+	p := &Partition{group: make(map[NodeID]int), startAt: startAt, healAt: healAt}
 	for g, ids := range groups {
 		for _, id := range ids {
 			if _, dup := p.group[id]; !dup {
@@ -135,6 +145,9 @@ func NewPartition(groups [][]NodeID, healAt Time) *Partition {
 // Fate implements Faults: messages crossing the cut are dropped until the
 // heal tick.
 func (p *Partition) Fate(now Time, from, to NodeID) Fate {
+	if now < p.startAt {
+		return Fate{}
+	}
 	if p.healAt > 0 && now >= p.healAt {
 		return Fate{}
 	}
@@ -194,6 +207,136 @@ func (c *Churn) Down(now Time, node NodeID) bool {
 	}
 	return false
 }
+
+// OneWayPartition is an asymmetric cut: messages from the src group to
+// the dst group are dropped while the cut is in effect, but the reverse
+// direction keeps delivering — the "my packets leave but yours never
+// arrive" failure a symmetric Partition cannot express. Construct with
+// NewOneWayPartition.
+type OneWayPartition struct {
+	src     map[NodeID]struct{}
+	dst     map[NodeID]struct{}
+	startAt Time // cut effective from this tick (0 = from the start)
+	healAt  Time // 0 = never heals
+}
+
+// NewOneWayPartition drops src→dst traffic in [startAt, healAt) (healAt 0
+// = never heals). dst→src traffic, and traffic within either group, is
+// untouched.
+func NewOneWayPartition(src, dst []NodeID, startAt, healAt Time) *OneWayPartition {
+	p := &OneWayPartition{
+		src:     make(map[NodeID]struct{}, len(src)),
+		dst:     make(map[NodeID]struct{}, len(dst)),
+		startAt: startAt,
+		healAt:  healAt,
+	}
+	for _, id := range src {
+		p.src[id] = struct{}{}
+	}
+	for _, id := range dst {
+		p.dst[id] = struct{}{}
+	}
+	return p
+}
+
+// Fate implements Faults.
+func (p *OneWayPartition) Fate(now Time, from, to NodeID) Fate {
+	if now < p.startAt || (p.healAt > 0 && now >= p.healAt) {
+		return Fate{}
+	}
+	if _, s := p.src[from]; !s {
+		return Fate{}
+	}
+	if _, d := p.dst[to]; !d {
+		return Fate{}
+	}
+	return Fate{Drop: true}
+}
+
+// Down implements Faults: a one-way cut crashes nobody.
+func (p *OneWayPartition) Down(Time, NodeID) bool { return false }
+
+// GrayFailure marks nodes that receive but never send: every message a
+// gray node transmits is lost in flight, while deliveries to it — and its
+// timers — proceed normally. Unlike a crash (Down), a gray node's state
+// keeps advancing, so it looks alive to itself and dead to everyone else.
+// Lost traffic is charged to the sender's sent and dropped counters,
+// never to anyone's received counters, exactly like any other in-flight
+// drop. Construct with NewGrayFailure.
+type GrayFailure struct {
+	gray map[NodeID]struct{}
+}
+
+// NewGrayFailure builds the model from the set of gray nodes.
+func NewGrayFailure(nodes []NodeID) *GrayFailure {
+	g := &GrayFailure{gray: make(map[NodeID]struct{}, len(nodes))}
+	for _, id := range nodes {
+		g.gray[id] = struct{}{}
+	}
+	return g
+}
+
+// Fate implements Faults: sends from gray nodes are dropped.
+func (g *GrayFailure) Fate(now Time, from, to NodeID) Fate {
+	_, isGray := g.gray[from]
+	return Fate{Drop: isGray}
+}
+
+// Down implements Faults: gray nodes are not crashed — they still
+// receive and their timers fire.
+func (g *GrayFailure) Down(Time, NodeID) bool { return false }
+
+// BurstLoss is Gilbert-Elliott two-state loss: the channel alternates
+// between a good state (no loss) and a bad state (loss with probability
+// lossBad), transitioning per consulted message with probabilities pEnter
+// (good→bad) and pExit (bad→good). Because Fate is consulted once per
+// message in deterministic order, the chain advances deterministically
+// and drops arrive in time-correlated bursts rather than iid — the loss
+// pattern of interference or a flapping route. Construct with
+// NewBurstLoss.
+type BurstLoss struct {
+	pEnter  float64
+	pExit   float64
+	lossBad float64
+	bad     bool
+	rng     *rand.Rand
+}
+
+// NewBurstLoss returns a Gilbert-Elliott loss model with its own
+// deterministic RNG. Probabilities are clamped to [0, 1].
+func NewBurstLoss(pEnter, pExit, lossBad float64, seed int64) *BurstLoss {
+	clamp := func(p float64) float64 {
+		if p < 0 {
+			return 0
+		}
+		if p > 1 {
+			return 1
+		}
+		return p
+	}
+	return &BurstLoss{
+		pEnter:  clamp(pEnter),
+		pExit:   clamp(pExit),
+		lossBad: clamp(lossBad),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Fate implements Faults: advance the two-state chain, then draw the loss
+// verdict from the current state.
+func (b *BurstLoss) Fate(Time, NodeID, NodeID) Fate {
+	if b.bad {
+		if b.rng.Float64() < b.pExit {
+			b.bad = false
+		}
+	} else if b.rng.Float64() < b.pEnter {
+		b.bad = true
+	}
+	return Fate{Drop: b.bad && b.rng.Float64() < b.lossBad}
+}
+
+// Down implements Faults.
+func (b *BurstLoss) Down(Time, NodeID) bool { return false }
 
 // Composite layers several fault models: a message is dropped if any
 // layer drops it, extra delays add up, and a node is down if any layer

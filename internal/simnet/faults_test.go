@@ -243,6 +243,130 @@ func TestFaultDeterminismAcrossParallelism(t *testing.T) {
 	}
 }
 
+func TestOneWayPartitionAsymmetry(t *testing.T) {
+	lat := DefaultLatency()
+	lat.Deterministic = true
+	n, recv := echoNet(lat, 21, 4)
+	// 0,1 → 2,3 dropped from t=0 until t=50; the reverse always delivers.
+	n.SetFaults(NewOneWayPartition([]NodeID{0, 1}, []NodeID{2, 3}, 0, 50))
+
+	n.Send(0, 2, "A2B", nil, 1) // cut direction: dropped
+	n.Send(2, 0, "B2A", nil, 1) // reverse: delivered
+	n.Send(0, 1, "IN", nil, 1)  // within the src group: delivered
+	n.Send(2, 3, "IN", nil, 1)  // within the dst group: delivered
+	n.RunUntilIdle()
+	if recv[2] != 0 {
+		t.Fatalf("cut direction delivered %d messages", recv[2])
+	}
+	if recv[0] != 1 || recv[1] != 1 || recv[3] != 1 {
+		t.Fatalf("non-cut directions: recv = %v", recv)
+	}
+	if n.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", n.Dropped())
+	}
+
+	// After the heal tick the cut direction delivers too.
+	n.After(0, 60, func(ctx *Context) { ctx.Send(2, "A2B", nil, 1) })
+	n.RunUntilIdle()
+	if recv[2] != 1 {
+		t.Fatalf("post-heal recv = %v", recv)
+	}
+}
+
+func TestOneWayPartitionStartTick(t *testing.T) {
+	lat := DefaultLatency()
+	lat.Deterministic = true
+	n, recv := echoNet(lat, 22, 2)
+	n.SetFaults(NewOneWayPartition([]NodeID{0}, []NodeID{1}, 30, 60))
+	n.Send(0, 1, "EARLY", nil, 1)                                      // before the cut starts: delivered
+	n.After(0, 40, func(ctx *Context) { ctx.Send(1, "MID", nil, 1) })  // inside: dropped
+	n.After(0, 70, func(ctx *Context) { ctx.Send(1, "LATE", nil, 1) }) // after heal: delivered
+	n.RunUntilIdle()
+	if recv[1] != 2 || n.Dropped() != 1 {
+		t.Fatalf("recv=%d dropped=%d, want 2 delivered / 1 dropped", recv[1], n.Dropped())
+	}
+}
+
+func TestGrayFailureReceivesButNeverSends(t *testing.T) {
+	lat := DefaultLatency()
+	lat.Deterministic = true
+	n, recv := echoNet(lat, 23, 3)
+	n.Metrics().SetPhase("p")
+	n.SetFaults(NewGrayFailure([]NodeID{1}))
+
+	// Deliveries TO the gray node proceed; its timers fire.
+	n.Send(0, 1, "IN", nil, 5)
+	fired := false
+	n.After(1, 3, func(ctx *Context) { fired = true })
+	// Everything FROM the gray node is lost in flight.
+	n.Send(1, 2, "OUT", nil, 7)
+	n.Send(1, 0, "OUT", nil, 7)
+	n.RunUntilIdle()
+
+	if recv[1] != 1 {
+		t.Fatalf("gray node received %d, want 1 (gray ≠ crashed)", recv[1])
+	}
+	if !fired {
+		t.Fatal("gray node's timer did not fire")
+	}
+	if recv[0] != 0 || recv[2] != 0 {
+		t.Fatalf("gray node's sends were delivered: recv = %v", recv)
+	}
+	// Accounting: the gray node's traffic is charged sent + dropped,
+	// never received.
+	if c := n.Metrics().Sent("p", 1); c.Messages != 2 || c.Bytes != 14 {
+		t.Fatalf("gray sent = %+v, want 2 msgs / 14 bytes", c)
+	}
+	if c := n.Metrics().DroppedByNodes("p", []NodeID{0, 1, 2}); c.Messages != 2 || c.Bytes != 14 {
+		t.Fatalf("dropped = %+v, want 2 msgs / 14 bytes", c)
+	}
+	if c := n.Metrics().Received("p", 0); c.Messages != 0 {
+		t.Fatalf("received at 0 = %+v, want zero", c)
+	}
+	if c := n.Metrics().Received("p", 2); c.Messages != 0 {
+		t.Fatalf("received at 2 = %+v, want zero", c)
+	}
+}
+
+func TestBurstLossCorrelatedAndDeterministic(t *testing.T) {
+	// Fates from one seed are reproducible, and drops cluster: with a low
+	// entry probability and a high in-burst loss rate, the drop sequence
+	// must contain a run of consecutive drops that iid loss at the same
+	// overall rate would essentially never produce.
+	fates := func(seed int64) []bool {
+		b := NewBurstLoss(0.02, 0.2, 0.95, seed)
+		out := make([]bool, 2000)
+		for i := range out {
+			out[i] = b.Fate(0, 0, 1).Drop
+		}
+		return out
+	}
+	a, bb := fates(42), fates(42)
+	for i := range a {
+		if a[i] != bb[i] {
+			t.Fatalf("burst fates diverged at message %d for equal seeds", i)
+		}
+	}
+	drops, run, maxRun := 0, 0, 0
+	for _, d := range a {
+		if d {
+			drops++
+			run++
+			if run > maxRun {
+				maxRun = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	if drops == 0 || drops == len(a) {
+		t.Fatalf("burst loss dropped %d of %d", drops, len(a))
+	}
+	if maxRun < 3 {
+		t.Fatalf("longest drop burst = %d, want ≥ 3 (loss is not time-correlated)", maxRun)
+	}
+}
+
 func TestLaggedMessageToCrashedNodeIsDroppedNotLate(t *testing.T) {
 	lat := DefaultLatency()
 	lat.Deterministic = true

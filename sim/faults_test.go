@@ -35,7 +35,7 @@ func runScenario(t *testing.T, name string, extra ...sim.Option) string {
 // scenarios: every seeded fault scenario must be byte-identical at any
 // simnet parallelism, in both the sequential and the pipelined engine.
 func TestFaultScenarioDeterminism(t *testing.T) {
-	for _, name := range []string{"lossy", "partition-heal", "churn"} {
+	for _, name := range []string{"lossy", "partition-heal", "churn", "gray-failure", "targeted-leaders"} {
 		for _, pipelined := range []bool{false, true} {
 			mode := "sequential"
 			if pipelined {
@@ -57,7 +57,10 @@ func TestFaultScenarioDeterminism(t *testing.T) {
 // actually degrade the network — dropped traffic for loss and partitions,
 // at least one silence recovery or timeout verdict under churn.
 func TestFaultScenariosExerciseFaults(t *testing.T) {
-	for _, name := range []string{"lossy", "partition-heal", "churn"} {
+	// Scenarios whose injected faults must additionally force at least one
+	// completed leader recovery (crashed or silenced seats get impeached).
+	needsRecovery := map[string]bool{"targeted-leaders": true}
+	for _, name := range []string{"lossy", "partition-heal", "churn", "gray-failure", "targeted-leaders"} {
 		t.Run(name, func(t *testing.T) {
 			scen, _ := sim.Lookup(name)
 			s, err := scen.New()
@@ -69,15 +72,20 @@ func TestFaultScenariosExerciseFaults(t *testing.T) {
 				t.Fatal(err)
 			}
 			var dropped, tx uint64
+			var recoveries int
 			for _, r := range reports {
 				dropped += r.Dropped
 				tx += uint64(r.Throughput())
+				recoveries += len(r.Recoveries)
 			}
 			if dropped == 0 {
 				t.Fatalf("scenario %s dropped no traffic", name)
 			}
 			if tx == 0 {
 				t.Fatalf("scenario %s committed nothing — degradation should be graceful", name)
+			}
+			if needsRecovery[name] && recoveries == 0 {
+				t.Fatalf("scenario %s completed no leader recovery", name)
 			}
 		})
 	}
@@ -133,5 +141,54 @@ func TestFaultsConfigJSONRoundTrip(t *testing.T) {
 	// Unknown fault fields are rejected like any other config typo.
 	if _, err := sim.Resolve(sim.FromJSON([]byte(`{"faults":{"losss":0.1}}`))); err == nil {
 		t.Fatal("unknown fault field accepted")
+	}
+}
+
+// TestExtendedFaultsJSONRoundTrip: the PR 9 fault fields — one-way
+// partitions, gray failures, burst loss, churn windows, and the adaptive
+// adversary — survive ToJSON/ParseConfig, and the dotted-leaf overlay the
+// sweep axes rely on ("faults.adaptive.budget") merges without clobbering
+// the sibling strategy flags.
+func TestExtendedFaultsJSONRoundTrip(t *testing.T) {
+	cfg, err := sim.Resolve(sim.WithFaults(sim.FaultsConfig{
+		OneWay:   &sim.OneWayPartitionSpec{Split: 0.3, StartTick: 50, HealTick: 200},
+		Gray:     &sim.GraySpec{Frac: 0.1},
+		Burst:    &sim.BurstLossSpec{PEnter: 0.02, PExit: 0.2, Loss: 0.9},
+		Churn:    &sim.ChurnSpec{Frac: 0.2, Windows: []sim.WindowSpec{{From: 10, To: 40}}},
+		Adaptive: &sim.AdaptiveSpec{Budget: 4, CrashLeaders: true, GrayTopK: true, BracketDeadlines: true},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := cfg.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := sim.ParseConfig(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := back.Faults
+	if f == nil || f.OneWay == nil || f.OneWay.HealTick != 200 ||
+		f.Gray == nil || f.Gray.Frac != 0.1 ||
+		f.Burst == nil || f.Burst.PExit != 0.2 ||
+		f.Churn == nil || len(f.Churn.Windows) != 1 || f.Churn.Windows[0].To != 40 ||
+		f.Adaptive == nil || f.Adaptive.Budget != 4 || !f.Adaptive.BracketDeadlines {
+		t.Fatalf("extended fault fields did not round-trip: %+v", f)
+	}
+
+	// The frontier sweep overlays only the budget (and the static flag);
+	// the strategy flags of the base config must survive the merge.
+	merged, err := sim.Resolve(sim.FromConfig(cfg),
+		sim.FromJSON([]byte(`{"faults":{"adaptive":{"budget":12,"static":true}}}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := merged.Faults.Adaptive
+	if a.Budget != 12 || !a.Static || !a.CrashLeaders || !a.GrayTopK || !a.BracketDeadlines {
+		t.Fatalf("adaptive leaf overlay clobbered sibling fields: %+v", a)
+	}
+	if cfg.Faults.Adaptive.Budget != 4 || cfg.Faults.Adaptive.Static {
+		t.Fatalf("overlay mutated the shared base spec: %+v", cfg.Faults.Adaptive)
 	}
 }

@@ -198,4 +198,22 @@ func init() {
 			WithFaults(FaultsConfig{Churn: &ChurnSpec{Frac: 0.15, Period: 500, Downtime: 150}}),
 		},
 	})
+	mustRegister(Scenario{
+		Name:        "gray-failure",
+		Description: "10% of nodes gray-fail — they receive and their timers fire, but every message they send is lost; silent seats are impeached, not framed",
+		Paper:       "gray/asymmetric failures (this repo's fault extension)",
+		Options: []Option{
+			WithRounds(3),
+			WithFaults(FaultsConfig{Gray: &GraySpec{Frac: 0.10}}),
+		},
+	})
+	mustRegister(Scenario{
+		Name:        "targeted-leaders",
+		Description: "the reactive adversary spends 4 budget units per round crashing the leaders the lottery just elected; recovery chains through successors",
+		Paper:       "adaptive adversary frontier (this repo's robustness extension)",
+		Options: []Option{
+			WithRounds(3),
+			WithFaults(FaultsConfig{Adaptive: &AdaptiveSpec{Budget: 4, CrashLeaders: true}}),
+		},
+	})
 }

@@ -116,4 +116,13 @@ func TestTransportNameValidation(t *testing.T) {
 	if !strings.Contains(err.Error(), "fault") {
 		t.Errorf("fault rejection error unhelpful: %v", err)
 	}
+	// The adaptive adversary is a fault model like any other: live runs
+	// must refuse it at construction rather than silently go fault-free.
+	_, err = sim.New(small(
+		sim.WithTransport("live"),
+		sim.WithFaults(sim.FaultsConfig{Adaptive: &sim.AdaptiveSpec{Budget: 4, CrashLeaders: true}}),
+	)...)
+	if err == nil {
+		t.Fatal("live transport accepted the adaptive adversary")
+	}
 }
