@@ -20,6 +20,7 @@ package cycledger_test
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
 	"testing"
 
@@ -416,22 +417,28 @@ func BenchmarkRoundHotPath(b *testing.B) {
 // BenchmarkScaleCeiling measures the simulator core at the ROADMAP's
 // scale ceiling: committee-shaped traffic (leader broadcast, member
 // votes, leader→referee results, a sprinkling of timers) on topologies
-// stepped from the paper's scale (m=20, c=97, n=2000) to 10× (m=200,
-// n≈19.5k), at full parallelism. One op is one synthetic round. The
-// protocol layer is deliberately absent — this isolates the simnet core
-// (calendar queue, event/Context pools, lane-sharded metrics, persistent
-// worker pool), whose contract is ≤ 1 amortized allocation per delivered
+// stepped from the paper's scale (m=20, c=97, n=2000) through 10×
+// (m=200, n≈19.5k) to 50× (m=1000, n≈97k), at full parallelism. One op
+// is one synthetic round. The protocol layer is deliberately absent —
+// this isolates the simnet core (per-lane calendar queues and free
+// lists, cross-lane exchange, lane-sharded metrics, persistent worker
+// pool), whose contract is ≤ 1 amortized allocation per delivered
 // message; allocs/msg reports the measured value. ticks/round is
 // deterministic for the fixed seed, so benchjson gates it alongside
-// allocs/op.
+// allocs/op. The 50× cell needs CYCLEDGER_SCALE_BIG=1 (the CI scale-big
+// job sets it): one warm round alone delivers ~200k messages.
 func BenchmarkScaleCeiling(b *testing.B) {
 	const cSize, refSize = 97, 60
 	for _, sc := range []struct {
 		name string
 		m    int
-	}{{"1x", 20}, {"4x", 80}, {"10x", 200}} {
+		big  bool
+	}{{"1x", 20, false}, {"4x", 80, false}, {"10x", 200, false}, {"50x", 1000, true}} {
 		sc := sc
 		b.Run("scale="+sc.name, func(b *testing.B) {
+			if sc.big && os.Getenv("CYCLEDGER_SCALE_BIG") == "" {
+				b.Skip("50×-scale cell disabled; set CYCLEDGER_SCALE_BIG=1 to run")
+			}
 			m := sc.m
 			refBase := m * cSize
 			total := refBase + refSize

@@ -245,6 +245,46 @@ func Regressions(current, base Document, tol float64) (regressions []string, com
 	return regressions, compared
 }
 
+// Missing returns the names of baseline benchmarks that have no
+// same-named measurement in current, sorted. A committed cell that simply
+// disappears from a run is a hole in the no-regression gate — the
+// env-gated scale-ceiling cells are the motivating case: a smoke run
+// without the gate env would silently stop covering them — so callers
+// should fail on a non-empty result unless the absence was explicitly
+// allowed.
+func Missing(current, base Document) []string {
+	have := make(map[string]bool, len(current.Benchmarks))
+	for _, e := range current.Benchmarks {
+		have[e.Name] = true
+	}
+	var out []string
+	for _, e := range base.Benchmarks {
+		if !have[e.Name] {
+			out = append(out, e.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HostMismatch compares the environment headers of two documents and
+// returns one human-readable line per differing field (goos, goarch,
+// cpu). Timing comparisons across different hosts are noise; the caller
+// surfaces these as warnings so a stale committed header is visible
+// without failing the gate.
+func HostMismatch(current, base Header) []string {
+	var out []string
+	diff := func(field, cur, b string) {
+		if cur != "" && b != "" && cur != b {
+			out = append(out, fmt.Sprintf("%s: committed %q, this machine %q", field, b, cur))
+		}
+	}
+	diff("goos", current.GoOS, base.GoOS)
+	diff("goarch", current.GoArch, base.GoArch)
+	diff("cpu", current.CPU, base.CPU)
+	return out
+}
+
 // WriteJSON writes the document with stable formatting (two-space indent,
 // trailing newline) so committed artifacts diff cleanly.
 func WriteJSON(w io.Writer, d Document) error {

@@ -161,3 +161,45 @@ func TestRegressions(t *testing.T) {
 		t.Fatalf("disjoint documents: regressions %v, compared %d (want 0, 0)", got, n)
 	}
 }
+
+func TestMissing(t *testing.T) {
+	base := NewDocument(Header{}, []Result{
+		{Name: "BenchmarkScaleCeiling/scale=10x"},
+		{Name: "BenchmarkScaleCeiling/scale=50x"},
+		{Name: "BenchmarkRoundHotPath"},
+	})
+	current := NewDocument(Header{}, []Result{
+		{Name: "BenchmarkRoundHotPath"},
+		{Name: "BenchmarkScaleCeiling/scale=10x"},
+		{Name: "BenchmarkBrandNew"}, // extra cells are never "missing"
+	})
+	got := Missing(current, base)
+	if len(got) != 1 || got[0] != "BenchmarkScaleCeiling/scale=50x" {
+		t.Fatalf("Missing = %v, want only the dropped 50x cell", got)
+	}
+	if got := Missing(base, base); len(got) != 0 {
+		t.Fatalf("Missing(self) = %v, want none", got)
+	}
+}
+
+func TestHostMismatch(t *testing.T) {
+	here := Header{GoOS: "linux", GoArch: "amd64", CPU: "Xeon"}
+	if got := HostMismatch(here, here); len(got) != 0 {
+		t.Fatalf("same host reported mismatches: %v", got)
+	}
+	there := Header{GoOS: "darwin", GoArch: "arm64", CPU: "M2"}
+	got := HostMismatch(here, there)
+	if len(got) != 3 {
+		t.Fatalf("HostMismatch = %v, want goos+goarch+cpu", got)
+	}
+	for i, field := range []string{"goos", "goarch", "cpu"} {
+		if !strings.Contains(got[i], field) {
+			t.Fatalf("line %d = %q, want field %q", i, got[i], field)
+		}
+	}
+	// Empty fields on either side (old documents, -input transcripts
+	// without a header) never produce a mismatch.
+	if got := HostMismatch(Header{}, there); len(got) != 0 {
+		t.Fatalf("empty current header reported mismatches: %v", got)
+	}
+}

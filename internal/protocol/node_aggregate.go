@@ -200,37 +200,51 @@ func (n *Node) onAggEvictReq(ctx *simnet.Context, m AggEvictReqMsg) {
 // (tied to aggregate mode: both are the O(log n) traffic profile).
 func (n *Node) treeMode() bool { return n.eng.P.AggregateCerts }
 
-// treeRanks fixes the rank order for a committee dissemination tree: the
-// root (the current leader) at rank 0, then the remaining members in
-// roster order. Both the sender and every relay compute the same order
-// from shared round state, so no rank information travels on the wire.
-func treeRanks(root simnet.NodeID, members []simnet.NodeID) []simnet.NodeID {
-	out := make([]simnet.NodeID, 0, len(members))
-	out = append(out, root)
-	for _, id := range members {
-		if id != root {
-			out = append(out, id)
-		}
-	}
-	return out
-}
-
 // treeRelay sends the message to this node's children in the committee's
 // binomial broadcast tree rooted at root — the leader's O(log C) egress
-// and every relay's forwarding step.
+// and every relay's forwarding step. The rank order is positional shared
+// state: root at rank 0, then the remaining members in roster order. Both
+// sender and relays derive it in one pass over the member list instead of
+// materializing a rank slice — the per-message rank/children allocations
+// were the broadcast path's top allocation site at large committees.
 func (n *Node) treeRelay(ctx *simnet.Context, root simnet.NodeID, tag string, payload any, size int) {
-	ranks := treeRanks(root, n.committeeNodes)
-	my := -1
-	for i, id := range ranks {
+	members := n.committeeNodes
+	rootPos, my := -1, -1
+	for i, id := range members {
+		if id == root {
+			rootPos = i
+		}
 		if id == n.ID {
 			my = i
-			break
 		}
 	}
-	if my < 0 {
-		return
+	ln := len(members)
+	if rootPos < 0 {
+		ln++ // root sits outside the member list; every member shifts up one
 	}
-	for _, c := range simnet.TreeChildren(my, len(ranks)) {
-		ctx.Send(ranks[c], tag, payload, size)
+	var rank int
+	switch {
+	case n.ID == root:
+		rank = 0
+	case my < 0:
+		return
+	case rootPos >= 0 && my > rootPos:
+		rank = my
+	default:
+		rank = my + 1
+	}
+	// Children of rank j are j + 2^t for every 2^t > j in range (the
+	// simnet.TreeChildren rule, inlined to avoid the slice). Rank r ≥ 1
+	// maps back to members[r-1], skipping the root's own slot when it sits
+	// inside the list.
+	for step := 1; rank+step < ln; step <<= 1 {
+		if step <= rank {
+			continue
+		}
+		ci := rank + step - 1
+		if rootPos >= 0 && ci >= rootPos {
+			ci++
+		}
+		ctx.Send(members[ci], tag, payload, size)
 	}
 }

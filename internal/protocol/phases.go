@@ -136,12 +136,10 @@ func (e *Engine) applyEvictions(report *RoundReport) []uint64 {
 		// the config phase; it re-announces in the next attempt.
 		affected = append(affected, k)
 	}
-	if len(affected) > 0 {
-		// ReplaceLeader invalidated the roster's cached role indexes;
-		// rebuild them here, while the network is idle, so the handlers
-		// of the re-run step never race on the lazy rebuild.
-		e.roster.warm()
-	}
+	// ReplaceLeader selectively rewarmed the cached role indexes it
+	// changed (committee lists, key members, commons) while the network
+	// was idle; the node set — and thus the AllNodes cache — is untouched
+	// by evictions, so no full warm() is needed before the re-run step.
 	return affected
 }
 

@@ -225,8 +225,12 @@ func (r *Roster) CommonsOfAll() []simnet.NodeID {
 // ReplaceLeader installs a new leader for committee k after a recovery
 // (§V-D): the new leader leaves the partial set; the evicted node is
 // demoted to common member (it stays connected but holds no key seat).
+// The mutations bypass the invalidate-everything mutators so the caches a
+// replacement cannot change survive; rewarmReplace rebuilds the rest.
 func (r *Roster) ReplaceLeader(k uint64, evicted, successor simnet.NodeID) {
-	r.setLeader(k, successor)
+	r.Leaders[k] = successor
+	r.roles[successor] = RoleLeader
+	r.comOf[successor] = k
 	// Remove the successor from the partial set.
 	ps := r.Partials[k][:0]
 	for _, id := range r.Partials[k] {
@@ -238,7 +242,30 @@ func (r *Roster) ReplaceLeader(k uint64, evicted, successor simnet.NodeID) {
 	r.roles[evicted] = RoleCommon
 	r.Commons[k] = append(r.Commons[k], evicted)
 	sort.Slice(r.Commons[k], func(i, j int) bool { return r.Commons[k][i] < r.Commons[k][j] })
-	r.invalidate()
+	r.rewarmReplace(k)
+}
+
+// rewarmReplace rebuilds only the cached indexes a leader replacement in
+// committee k can change: that committee's member lists, the global
+// key-member set, and the commons set. The participating node set is
+// untouched (the evicted leader stays as a common member), so cAllNodes
+// survives — the full warm()'s O(n log n) node re-sort was the dominant
+// cost of recovery rounds at large rosters. Rebuilding runs eagerly on
+// the caller's goroutine, preserving warm()'s contract that the parallel
+// message handlers only ever read already-built caches.
+func (r *Roster) rewarmReplace(k uint64) {
+	if r.cCommittees != nil {
+		r.cCommittees[k] = nil
+	}
+	if r.cKeyMembers != nil {
+		r.cKeyMembers[k] = nil
+	}
+	r.cAllKey = nil
+	r.cCommons = nil
+	r.Committee(k)
+	r.KeyMembers(k)
+	r.AllKeyMembers()
+	r.CommonsOfAll()
 }
 
 // linkClass classifies a link for the latency model: intra-committee (or

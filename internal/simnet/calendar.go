@@ -1,20 +1,25 @@
 package simnet
 
-import "container/heap"
+import (
+	"container/heap"
+	"slices"
+)
 
 // calQueue is a calendar queue specialised for the simulator's access
 // pattern: virtual time only moves forward, almost every event is
-// scheduled within the synchrony bounds of the current tick, and Step
+// scheduled within the synchrony bounds of the current tick, and a step
 // always drains one whole tick at a time.
 //
 // Near-future events live in a power-of-two ring of per-tick buckets
 // covering (base, base+nbucket]; pushing and popping them is a slice
 // append and a slice swap, with no comparisons. Events beyond the horizon
 // (fault-model lag, long watchdog timers) overflow into a small binary
-// heap. Because seq numbers are assigned in push order, a bucket is
-// already seq-sorted; when a tick's events span both the bucket and the
-// overflow heap, popBatch merges the two seq-sorted streams so the batch
-// order is byte-identical to a single binary heap's (at, seq) pop order.
+// heap. Under the lane-sharded scheduler each worker lane owns one
+// calQueue and pushes into it concurrently with the other lanes' pushes
+// into theirs, so bucket append order is whatever the lane's execution
+// produced; popBatch sorts the tick's events by their (ks, kc) scheduling
+// key, which restores the one canonical order no matter which lane — or
+// how many lanes — produced the pushes.
 type calQueue struct {
 	base      Time // last popped tick; every live event is strictly later
 	mask      Time
@@ -40,9 +45,8 @@ func newCalQueue(horizon Time) *calQueue {
 
 func (q *calQueue) len() int { return q.inBuckets + len(q.overflow) }
 
-// push files an event under its tick. The caller has already assigned
-// ev.seq, so bucket append order is seq order. Ticks at or before base
-// cannot occur (all schedule paths add ≥ 1 to the current time), but the
+// push files an event under its tick. Ticks at or before base cannot
+// occur (all schedule paths add ≥ 1 to the current time), but the
 // overflow heap handles them correctly if a custom driver ever does.
 func (q *calQueue) push(ev *event) {
 	if d := ev.at - q.base; d >= 1 && d <= q.nbucket {
@@ -76,32 +80,39 @@ func (q *calQueue) peek() (Time, bool) {
 	return bt, true
 }
 
-// popBatch appends every event scheduled at tick t to out, in seq order,
-// and advances base to t. The emptied bucket keeps its capacity so
-// steady-state traffic never reallocates.
+// keyLess is the canonical intra-tick order: the (ks, kc) scheduling key,
+// a pure function of the event's causal origin (see simnet.go), so every
+// lane layout sorts a tick's events identically.
+func keyLess(a, b *event) int {
+	switch {
+	case a.ks < b.ks:
+		return -1
+	case a.ks > b.ks:
+		return 1
+	case a.kc < b.kc:
+		return -1
+	case a.kc > b.kc:
+		return 1
+	}
+	return 0
+}
+
+// popBatch appends every event scheduled at tick t to out, sorted by
+// scheduling key, and advances base to t. The emptied bucket keeps its
+// capacity so steady-state traffic never reallocates.
 func (q *calQueue) popBatch(t Time, out []*event) []*event {
+	start := len(out)
 	var bucket []*event
 	idx := Time(-1)
 	if q.inBuckets > 0 && t > q.base && t-q.base <= q.nbucket {
 		idx = t & q.mask
 		bucket = q.buckets[idx]
-	}
-	if len(q.overflow) > 0 && q.overflow[0].at == t {
-		// Rare: the tick also has far-scheduled events. Merge the two
-		// seq-sorted streams to preserve heap-identical batch order.
-		bi := 0
-		for len(q.overflow) > 0 && q.overflow[0].at == t {
-			ov := q.overflow[0]
-			for bi < len(bucket) && bucket[bi].seq < ov.seq {
-				out = append(out, bucket[bi])
-				bi++
-			}
-			out = append(out, heap.Pop(&q.overflow).(*event))
-		}
-		out = append(out, bucket[bi:]...)
-	} else {
 		out = append(out, bucket...)
 	}
+	for len(q.overflow) > 0 && q.overflow[0].at == t {
+		out = append(out, heap.Pop(&q.overflow).(*event))
+	}
+	slices.SortFunc(out[start:], keyLess)
 	if idx >= 0 {
 		q.inBuckets -= len(bucket)
 		for i := range bucket {
@@ -113,4 +124,33 @@ func (q *calQueue) popBatch(t Time, out []*event) []*event {
 		q.base = t
 	}
 	return out
+}
+
+// drain appends every queued event to out in arbitrary order and empties
+// the queue. Used when SetParallelism redistributes pending events across
+// a new lane layout; order is irrelevant because popBatch sorts by key.
+func (q *calQueue) drain(out []*event) []*event {
+	if q.inBuckets > 0 {
+		for i := range q.buckets {
+			b := q.buckets[i]
+			out = append(out, b...)
+			for j := range b {
+				b[j] = nil
+			}
+			q.buckets[i] = b[:0]
+		}
+		q.inBuckets = 0
+	}
+	out = append(out, q.overflow...)
+	for i := range q.overflow {
+		q.overflow[i] = nil
+	}
+	q.overflow = q.overflow[:0]
+	return out
+}
+
+// reset re-anchors the ring at the given tick. Only valid on an empty
+// queue (after drain); every subsequent push must be strictly later.
+func (q *calQueue) reset(base Time) {
+	q.base = base
 }

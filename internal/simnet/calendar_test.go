@@ -3,25 +3,30 @@ package simnet
 import (
 	"container/heap"
 	"math/rand"
+	"slices"
+	"sync"
 	"testing"
 )
 
 // TestCalendarQueueMatchesHeapOrder drives the calendar queue and the old
 // binary heap with identical randomized schedules and asserts both pop
-// the exact same (at, seq) sequence, batch by batch. Delays straddle the
-// bucket horizon so the overflow heap and the same-tick bucket/overflow
-// merge are exercised, not just the ring fast path.
+// the exact same (at, ks, kc) sequence, batch by batch. Delays straddle
+// the bucket horizon so the overflow heap and the same-tick
+// bucket/overflow merge are exercised, not just the ring fast path.
+// Pushes arrive in shuffled key order — the lane-sharded scheduler pushes
+// in whatever order its lanes execute — so the test also pins popBatch's
+// sort-at-pop contract.
 func TestCalendarQueueMatchesHeapOrder(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 40; trial++ {
 		q := newCalQueue(200) // rounds up to a 256-tick ring
 		var h eventHeap
-		seq := uint64(0)
+		key := uint64(0)
 		now := Time(0)
-		push := func(at Time) {
-			q.push(&event{at: at, seq: seq})
-			heap.Push(&h, &event{at: at, seq: seq})
-			seq++
+		push := func(at Time, kc uint32) {
+			q.push(&event{at: at, ks: key, kc: kc})
+			heap.Push(&h, &event{at: at, ks: key, kc: kc})
+			key++
 		}
 		pop := func() bool {
 			bt, ok := q.peek()
@@ -40,9 +45,9 @@ func TestCalendarQueueMatchesHeapOrder(t *testing.T) {
 			}
 			for _, ev := range batch {
 				want := heap.Pop(&h).(*event)
-				if want.at != ev.at || want.seq != ev.seq {
-					t.Fatalf("trial %d: calendar popped (at=%d,seq=%d), heap (at=%d,seq=%d)",
-						trial, ev.at, ev.seq, want.at, want.seq)
+				if want.at != ev.at || want.ks != ev.ks || want.kc != ev.kc {
+					t.Fatalf("trial %d: calendar popped (at=%d,ks=%d,kc=%d), heap (at=%d,ks=%d,kc=%d)",
+						trial, ev.at, ev.ks, ev.kc, want.at, want.ks, want.kc)
 				}
 			}
 			if h.Len() > 0 && h[0].at == bt {
@@ -55,7 +60,7 @@ func TestCalendarQueueMatchesHeapOrder(t *testing.T) {
 			for i, k := 0, rng.Intn(8); i < k; i++ {
 				// Delays up to ~2.3× the ring span: far pushes land in the
 				// overflow and collide with bucketed ticks as now advances.
-				push(now + Time(rng.Int63n(600)) + 1)
+				push(now+Time(rng.Int63n(600))+1, uint32(rng.Intn(3)))
 			}
 			pop()
 		}
@@ -64,32 +69,129 @@ func TestCalendarQueueMatchesHeapOrder(t *testing.T) {
 	}
 }
 
-// TestCalendarQueueBucketReuse: a drained bucket keeps its capacity, so a
-// steady push/pop cycle at the same relative offset does not allocate.
-func TestCalendarQueueBucketReuse(t *testing.T) {
-	q := newCalQueue(64)
-	now := Time(0)
-	seq := uint64(0)
-	evs := [4]*event{{}, {}, {}, {}}
-	out := make([]*event, 0, 8)
-	cycle := func() {
-		for i, ev := range evs {
-			ev.at, ev.seq = now+Time(1+i%2), seq
-			seq++
-			q.push(ev)
+// TestCalendarQueueOverflowBoundary is the property test for the
+// bucket-window edge: events landing exactly at the window's last covered
+// tick (base+nbucket), one tick before it, and one beyond (the first
+// overflow tick), plus far-future events several windows out, interleaved
+// with window advances that pull overflowed ticks back into bucket range.
+// Every batch must pop in heap-oracle order. The boundary offsets are
+// deliberately adversarial: an off-by-one in push's window test files an
+// event in the wrong structure, and only a drain across an advance shows
+// it.
+func TestCalendarQueueOverflowBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		q := newCalQueue(200) // 256-tick ring
+		span := q.nbucket
+		var h eventHeap
+		key := uint64(0)
+		push := func(at Time) {
+			// Shuffled key order within a tick: split each key into a
+			// randomized (ks, kc) pair so intra-tick sorting is exercised.
+			kc := uint32(rng.Intn(4))
+			q.push(&event{at: at, ks: key, kc: kc})
+			heap.Push(&h, &event{at: at, ks: key, kc: kc})
+			key++
 		}
-		for q.len() > 0 {
-			bt, _ := q.peek()
-			out = q.popBatch(bt, out[:0])
-			now = bt
+		drainOne := func() {
+			bt, ok := q.peek()
+			if !ok {
+				if h.Len() != 0 {
+					t.Fatalf("trial %d: calendar empty, heap holds %d", trial, h.Len())
+				}
+				return
+			}
+			batch := q.popBatch(bt, nil)
+			for _, ev := range batch {
+				want := heap.Pop(&h).(*event)
+				if want.at != ev.at || want.ks != ev.ks || want.kc != ev.kc {
+					t.Fatalf("trial %d: boundary pop (at=%d,ks=%d,kc=%d), oracle (at=%d,ks=%d,kc=%d)",
+						trial, ev.at, ev.ks, ev.kc, want.at, want.ks, want.kc)
+				}
+			}
+		}
+		for round := 0; round < 200; round++ {
+			base := q.base
+			// The three window-boundary offsets relative to the current
+			// base, plus a near tick and a far-future tick (multiple
+			// window spans out, always overflow).
+			offsets := []Time{1, span - 1, span, span + 1, span * Time(2+rng.Intn(3))}
+			for _, off := range offsets {
+				if rng.Intn(2) == 0 {
+					push(base + off)
+				}
+			}
+			// Window advances: drain 1–3 ticks so base moves and
+			// previously-overflowed ticks fall back into bucket range.
+			for i, k := 0, 1+rng.Intn(3); i < k; i++ {
+				drainOne()
+			}
+		}
+		for h.Len() > 0 {
+			drainOne()
+		}
+		if q.len() != 0 {
+			t.Fatalf("trial %d: oracle empty but calendar holds %d", trial, q.len())
 		}
 	}
-	// Warm every ring bucket to the cycle's batch size (several full laps).
-	for i := 0; i < 500; i++ {
-		cycle()
+}
+
+// TestCalendarQueuePerLaneBoundary runs a boundary-heavy schedule through
+// a multi-lane Network: far-future timers (overflow in every lane's
+// queue, at delays pinned to the ring span and its neighbours)
+// interleaved with near sends must produce the identical delivery log at
+// parallelism 1, 3, and 8 — each per-lane queue handles its own overflow
+// boundary and the merged order stays canonical.
+func TestCalendarQueuePerLaneBoundary(t *testing.T) {
+	span := newCalQueue(4*100 + 64).nbucket // the ring span New() picks for DefaultLatency
+	run := func(par int) []uint64 {
+		n := New(DefaultLatency(), 23)
+		n.SetParallelism(par)
+		var mu sync.Mutex
+		var log []uint64
+		for id := NodeID(0); id < 24; id++ {
+			id := id
+			n.Register(id, func(ctx *Context, msg Message) {
+				mu.Lock()
+				log = append(log, uint64(ctx.Now())<<32|uint64(uint32(id)))
+				mu.Unlock()
+				if ctx.Now() < 3*span {
+					// One near send plus timers at the window boundary
+					// offsets: one tick inside, exactly at, and one beyond
+					// the ring span, all measured from the current tick.
+					ctx.Send((id+1)%24, "NEAR", nil, 1)
+					for _, d := range []Time{span - 1, span, span + 1} {
+						ctx.After(d, func(c *Context) {
+							mu.Lock()
+							log = append(log, uint64(c.Now())<<32|uint64(uint32(id))|1<<31)
+							mu.Unlock()
+						})
+					}
+				}
+			})
+		}
+		for id := NodeID(0); id < 24; id++ {
+			n.Send(id, id, "NEAR", nil, 1)
+		}
+		n.RunUntilIdle()
+		// Handlers append in lane interleaving order; sort to the canonical
+		// (tick, node, kind) multiset, which pins the schedule itself.
+		slices.Sort(log)
+		return log
 	}
-	allocs := testing.AllocsPerRun(200, cycle)
-	if allocs > 0 {
-		t.Fatalf("steady-state calendar cycle allocates %.1f/run, want 0", allocs)
+	base := run(1)
+	if len(base) == 0 {
+		t.Fatal("no deliveries")
+	}
+	for _, par := range []int{3, 8} {
+		got := run(par)
+		if len(got) != len(base) {
+			t.Fatalf("par=%d: %d log entries, par=1 has %d", par, len(got), len(base))
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("par=%d: log diverges at %d: %x vs %x", par, i, got[i], base[i])
+			}
+		}
 	}
 }

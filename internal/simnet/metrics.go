@@ -48,62 +48,100 @@ type Metrics struct {
 	total     Counter
 	totalDrop Counter
 	totalLate Counter
-	// lanes are the per-worker receive shards; lane i is written
-	// exclusively by the worker running lane i of the current batch and
-	// folded into the maps above by mergeLanes on the single-threaded
-	// path. Send-side accounting never goes through lanes: sends happen
-	// only during effect application, which is single-threaded.
+	// lanes are the per-worker shards; lane i is written exclusively by
+	// the worker running lane i of the current macro-step (receives and
+	// fast-path sends) or by the single-threaded barrier (slow-path sends
+	// and drops), and folded into the maps above by mergeLanes. The fold
+	// is amortised: the Network folds every mergeEvery batches and at the
+	// end of every drain, so readers — which only run between drains —
+	// always see fully merged accounting. The phase label is constant
+	// within a drain (SetPhase happens between drains), which is what
+	// makes deferring the fold safe.
 	lanes []laneShard
 }
 
-// laneShard accumulates one worker lane's receiver-side traffic for the
-// current batch without locks. Entries persist across batches (zeroed,
-// not deleted, at merge) so steady-state recording allocates nothing;
-// touched lists the nodes with live counts this batch.
+// laneShard accumulates one worker lane's traffic without locks. Entries
+// persist across batches (zeroed, not deleted, at fold) so steady-state
+// recording allocates nothing; touched lists the nodes and tags with live
+// counts since the last fold.
 type laneShard struct {
-	entries map[NodeID]*laneEntry
-	touched []NodeID
-	late    Counter
+	entries    map[NodeID]*laneEntry
+	touched    []NodeID
+	tags       map[string]*Counter
+	tagTouched []string
+	late       Counter
+	sentTotal  Counter
+	dropTotal  Counter
 }
 
+// laneEntry carries one node's shard-local counters: receives keyed by
+// the node as destination, sends keyed by it as sender, drops keyed by it
+// as the destination that missed the message.
 type laneEntry struct {
 	recv   Counter
+	sent   Counter
+	drop   Counter
 	active bool
 }
 
-func (s *laneShard) recordRecv(msg Message) {
-	e := s.entries[msg.To]
+func (s *laneShard) entry(id NodeID) *laneEntry {
+	e := s.entries[id]
 	if e == nil {
 		e = &laneEntry{}
-		s.entries[msg.To] = e
+		s.entries[id] = e
 	}
 	if !e.active {
 		e.active = true
-		s.touched = append(s.touched, msg.To)
+		s.touched = append(s.touched, id)
 	}
-	e.recv.add(msg.Size)
+	return e
+}
+
+func (s *laneShard) recordRecv(msg Message) {
+	s.entry(msg.To).recv.add(msg.Size)
 }
 
 func (s *laneShard) recordLate(msg Message) {
 	s.late.add(msg.Size)
 }
 
+func (s *laneShard) recordSend(msg Message) {
+	s.entry(msg.From).sent.add(msg.Size)
+	tc := s.tags[msg.Tag]
+	if tc == nil {
+		tc = &Counter{}
+		s.tags[msg.Tag] = tc
+	}
+	if tc.Messages == 0 {
+		s.tagTouched = append(s.tagTouched, msg.Tag)
+	}
+	tc.add(msg.Size)
+	s.sentTotal.add(msg.Size)
+}
+
+func (s *laneShard) recordDropped(msg Message) {
+	s.entry(msg.To).drop.add(msg.Size)
+	s.dropTotal.add(msg.Size)
+}
+
 // ensureLanes grows the shard set to at least k lanes. Called by the
-// Network before dispatching a batch, never concurrently with workers.
+// Network at construction and SetParallelism, never concurrently with
+// workers.
 func (m *Metrics) ensureLanes(k int) {
 	if k < 1 {
 		k = 1
 	}
 	for len(m.lanes) < k {
-		m.lanes = append(m.lanes, laneShard{entries: make(map[NodeID]*laneEntry)})
+		m.lanes = append(m.lanes, laneShard{
+			entries: make(map[NodeID]*laneEntry),
+			tags:    make(map[string]*Counter),
+		})
 	}
 }
 
-// mergeLanes folds every lane shard into the shared maps. It runs after
-// each batch on the single-threaded path; the phase is constant within a
-// batch (SetPhase only happens between drains) and the merge is a sum of
-// commutative counters, so the result is deterministic no matter how the
-// parallel lanes interleaved.
+// mergeLanes folds every lane shard into the shared maps under the
+// current phase label. The fold is a sum of commutative counters, so the
+// result is deterministic no matter how the parallel lanes interleaved.
 func (m *Metrics) mergeLanes() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -111,17 +149,55 @@ func (m *Metrics) mergeLanes() {
 		s := &m.lanes[li]
 		for _, id := range s.touched {
 			e := s.entries[id]
-			k := phaseNode{m.phase, id}
-			c := m.received[k]
-			if c == nil {
-				c = &Counter{}
-				m.received[k] = c
+			if e.recv.Messages > 0 {
+				k := phaseNode{m.phase, id}
+				c := m.received[k]
+				if c == nil {
+					c = &Counter{}
+					m.received[k] = c
+				}
+				c.Add(e.recv)
 			}
-			c.Add(e.recv)
-			e.recv = Counter{}
-			e.active = false
+			if e.sent.Messages > 0 {
+				k := phaseNode{m.phase, id}
+				c := m.sent[k]
+				if c == nil {
+					c = &Counter{}
+					m.sent[k] = c
+				}
+				c.Add(e.sent)
+			}
+			if e.drop.Messages > 0 {
+				k := phaseNode{m.phase, id}
+				c := m.dropped[k]
+				if c == nil {
+					c = &Counter{}
+					m.dropped[k] = c
+				}
+				c.Add(e.drop)
+			}
+			*e = laneEntry{}
 		}
 		s.touched = s.touched[:0]
+		for _, tag := range s.tagTouched {
+			tc := s.tags[tag]
+			c := m.byTag[tag]
+			if c == nil {
+				c = &Counter{}
+				m.byTag[tag] = c
+			}
+			c.Add(*tc)
+			*tc = Counter{}
+		}
+		s.tagTouched = s.tagTouched[:0]
+		if s.sentTotal.Messages > 0 {
+			m.total.Add(s.sentTotal)
+			s.sentTotal = Counter{}
+		}
+		if s.dropTotal.Messages > 0 {
+			m.totalDrop.Add(s.dropTotal)
+			s.dropTotal = Counter{}
+		}
 		if s.late.Messages > 0 {
 			m.totalLate.Add(s.late)
 			s.late = Counter{}
@@ -140,7 +216,9 @@ func NewMetrics() *Metrics {
 	}
 }
 
-// SetPhase labels all subsequent traffic with the given phase name.
+// SetPhase labels all subsequent traffic with the given phase name. Call
+// only between drains: the lane shards fold under the label active when
+// the drain ends.
 func (m *Metrics) SetPhase(phase string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -156,8 +234,8 @@ func (m *Metrics) Phase() string {
 
 // RecordSend charges a message to the sender-side, per-tag, and total
 // counters. Exported for transports that account traffic outside a
-// Network (the live transport); the simnet's own send path uses the same
-// accounting.
+// Network (the live transport); the simnet's external send path uses the
+// same accounting.
 func (m *Metrics) RecordSend(msg Message) { m.recordSend(msg) }
 
 // RecordRecv charges a delivered message to the receiver-side counters of

@@ -4,44 +4,53 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"os"
 	"runtime"
 	"testing"
 )
 
-// The 10× paper-scale topology used by the determinism tests: 200
-// committees of 97 plus a 60-member referee set (the paper's m=20, c=97,
-// RefSize=60 stepped ×10 on m), with the §III-B link classes.
+// The paper-scale topologies used by the determinism tests: committees of
+// 97 plus a 60-member referee set (the paper's c=97, RefSize=60), with the
+// §III-B link classes. scaleComs = 200 is the 10× cell (m=20 stepped ×10);
+// scaleBigComs = 1000 is the 50× ceiling cell (~97k nodes), gated behind
+// CYCLEDGER_SCALE_BIG because a full drain takes minutes.
 const (
-	scaleComs  = 200
-	scaleCSize = 97
-	scaleRef   = 60
-	scaleTotal = scaleComs*scaleCSize + scaleRef
+	scaleComs    = 200
+	scaleBigComs = 1000
+	scaleCSize   = 97
+	scaleRef     = 60
+	scaleTotal   = scaleComs*scaleCSize + scaleRef
 )
 
-func scaleClassify(from, to NodeID) LinkClass {
-	fRef, tRef := from >= scaleComs*scaleCSize, to >= scaleComs*scaleCSize
-	if fRef && tRef {
-		return LinkIntra
+// scaleClassifier builds the link classifier for a coms-committee
+// topology: committee member 0 is the "leader", 1..3 the "partial set".
+func scaleClassifier(coms int) func(from, to NodeID) LinkClass {
+	body := NodeID(coms * scaleCSize)
+	return func(from, to NodeID) LinkClass {
+		fRef, tRef := from >= body, to >= body
+		if fRef && tRef {
+			return LinkIntra
+		}
+		if !fRef && !tRef && int(from)/scaleCSize == int(to)/scaleCSize {
+			return LinkIntra
+		}
+		fKey := fRef || int(from)%scaleCSize < 4
+		tKey := tRef || int(to)%scaleCSize < 4
+		if fKey && tKey {
+			return LinkKey
+		}
+		return LinkPartial
 	}
-	if !fRef && !tRef && int(from)/scaleCSize == int(to)/scaleCSize {
-		return LinkIntra
-	}
-	// Committee member 0 is the "leader", 1..3 the "partial set".
-	fKey := fRef || int(from)%scaleCSize < 4
-	tKey := tRef || int(to)%scaleCSize < 4
-	if fKey && tKey {
-		return LinkKey
-	}
-	return LinkPartial
 }
 
-// runScale10x builds the 10×-scale network, seeds committee-shaped
+// runScaleGossip builds a coms-committee network, seeds committee-shaped
 // gossip, drains it, and returns a fingerprint over every observable the
 // determinism contract covers: clock, delivery counts, totals, and the
 // full per-node sent/received counter maps.
-func runScale10x(t *testing.T, parallelism int, shuffleReg bool) string {
+func runScaleGossip(t *testing.T, coms, parallelism int, shuffleReg bool) string {
 	t.Helper()
-	lat := Latency{Delta: 10, Gamma: 40, PartialMax: 100, Classify: scaleClassify}
+	total := coms*scaleCSize + scaleRef
+	lat := Latency{Delta: 10, Gamma: 40, PartialMax: 100, Classify: scaleClassifier(coms)}
 	n := New(lat, 42)
 	n.SetParallelism(parallelism)
 
@@ -52,18 +61,18 @@ func runScale10x(t *testing.T, parallelism int, shuffleReg bool) string {
 			}
 			// Deterministic fan-out to two pseudo-random peers.
 			for j := 0; j < 2; j++ {
-				to := NodeID((int(id)*31 + j*7919 + msg.Size*131) % scaleTotal)
+				to := NodeID((int(id)*31 + j*7919 + msg.Size*131) % total)
 				ctx.Send(to, "gossip", nil, msg.Size-1)
 			}
 			if msg.Size == 3 {
 				ctx.After(Time(int(id)%7+1), func(c *Context) {
-					c.Send(NodeID((int(c.Node)+1)%scaleTotal), "timer", nil, 1)
+					c.Send(NodeID((int(c.Node)+1)%total), "timer", nil, 1)
 				})
 			}
 		}
 	}
 
-	ids := make([]NodeID, scaleTotal)
+	ids := make([]NodeID, total)
 	for i := range ids {
 		ids[i] = NodeID(i)
 	}
@@ -76,17 +85,17 @@ func runScale10x(t *testing.T, parallelism int, shuffleReg bool) string {
 
 	// Every leader seeds a depth-6 wave into its committee and a
 	// cross-committee wave to the next leader.
-	for k := 0; k < scaleComs; k++ {
+	for k := 0; k < coms; k++ {
 		leader := NodeID(k * scaleCSize)
 		n.Send(leader, leader+1, "seed", nil, 6)
-		n.Send(leader, NodeID(((k+1)%scaleComs)*scaleCSize), "seed", nil, 5)
+		n.Send(leader, NodeID(((k+1)%coms)*scaleCSize), "seed", nil, 5)
 	}
 	n.RunUntilIdle()
 
 	h := fnv.New64a()
 	fmt.Fprintf(h, "t=%d delivered=%d dropped=%d total=%v late=%v;",
 		n.Now(), n.Delivered(), n.Dropped(), n.Metrics().Total(), n.Metrics().LateTotal())
-	for id := NodeID(0); id < scaleTotal; id++ {
+	for id := NodeID(0); id < NodeID(total); id++ {
 		s := n.Metrics().Sent("init", id)
 		r := n.Metrics().Received("init", id)
 		if s.Messages|s.Bytes|r.Messages|r.Bytes != 0 {
@@ -103,9 +112,32 @@ func TestScaleDeterminism10x(t *testing.T) {
 	if testing.Short() {
 		t.Skip("10×-scale topology in -short mode")
 	}
-	sequential := runScale10x(t, 1, false)
-	parallel := runScale10x(t, runtime.GOMAXPROCS(0), false)
-	shuffled := runScale10x(t, runtime.GOMAXPROCS(0), true)
+	sequential := runScaleGossip(t, scaleComs, 1, false)
+	parallel := runScaleGossip(t, scaleComs, runtime.GOMAXPROCS(0), false)
+	shuffled := runScaleGossip(t, scaleComs, runtime.GOMAXPROCS(0), true)
+	if sequential != parallel {
+		t.Errorf("parallel run diverged:\n par=1: %s\n par=N: %s", sequential, parallel)
+	}
+	if sequential != shuffled {
+		t.Errorf("shuffled-registration run diverged:\n ordered:  %s\n shuffled: %s", sequential, shuffled)
+	}
+}
+
+// TestScaleDeterminism50x is the scale-ceiling equivalence gate: the
+// ~97k-node topology (m=1000, c=97, RefSize=60) must be byte-identical at
+// parallelism 1, parallelism GOMAXPROCS, and with shuffled registration.
+// Gated behind CYCLEDGER_SCALE_BIG=1 (the CI scale-big job sets it); the
+// three full drains take minutes on a laptop.
+func TestScaleDeterminism50x(t *testing.T) {
+	if os.Getenv("CYCLEDGER_SCALE_BIG") == "" {
+		t.Skip("50×-scale cell disabled; set CYCLEDGER_SCALE_BIG=1 to run")
+	}
+	if testing.Short() {
+		t.Skip("50×-scale topology in -short mode")
+	}
+	sequential := runScaleGossip(t, scaleBigComs, 1, false)
+	parallel := runScaleGossip(t, scaleBigComs, runtime.GOMAXPROCS(0), false)
+	shuffled := runScaleGossip(t, scaleBigComs, runtime.GOMAXPROCS(0), true)
 	if sequential != parallel {
 		t.Errorf("parallel run diverged:\n par=1: %s\n par=N: %s", sequential, parallel)
 	}
@@ -249,5 +281,47 @@ func TestSetDownRecoveryWithFaultsNoSkipAlloc(t *testing.T) {
 	})
 	if allocs > 0 {
 		t.Fatalf("steady-state Step with idle fault model allocates %.1f/run, want 0", allocs)
+	}
+}
+
+// TestAdaptiveSteadyStateNoAlloc: an ACTIVE Adaptive adversary — crash,
+// mute, and directed-cut windows all in force while traffic flows — must
+// not break the steady-state zero-allocation property. Fate and Down are
+// pure window lookups and the slow path recycles Contexts through the
+// lane free lists, so a warm network under attack allocates nothing.
+func TestAdaptiveSteadyStateNoAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counting is unreliable under -race")
+	}
+	n := New(DefaultLatency(), 17)
+	a := NewAdaptive()
+	a.Crash(2, 1, 0)            // node 2 down for the whole run
+	a.Mute(3, 1, 0)             // node 3 gray: sends dropped, timers fire
+	a.Cut(0, []NodeID{4}, 1, 0) // directed 0→4 cut
+	n.SetFaults(a)
+	bounce := func(ctx *Context, msg Message) {
+		if msg.Size > 1 {
+			ctx.Send(msg.From, "pong", nil, msg.Size-1)
+		}
+	}
+	for id := NodeID(0); id < 5; id++ {
+		n.Register(id, bounce)
+	}
+	drive := func() {
+		n.Send(0, 1, "ping", nil, 4) // healthy bounce pair
+		n.Send(0, 2, "ping", nil, 2) // into the crash window: dropped on delivery
+		n.Send(3, 1, "ping", nil, 2) // from the muted node: dropped at send
+		n.Send(0, 4, "ping", nil, 2) // across the cut: dropped at send
+		n.RunUntilIdle()
+	}
+	for i := 0; i < 400; i++ {
+		drive()
+	}
+	if n.Dropped() == 0 {
+		t.Fatal("adversary dropped nothing; the fault windows are not active")
+	}
+	allocs := testing.AllocsPerRun(100, drive)
+	if allocs > 0 {
+		t.Fatalf("steady-state Step under active Adaptive faults allocates %.1f/run, want 0", allocs)
 	}
 }

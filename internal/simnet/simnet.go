@@ -4,7 +4,9 @@
 // among key members (leaders, partial sets, referee members), and
 // partially-synchronous links everywhere else. The adversary's power to
 // reorder honest messages (§III-C) is modelled by per-message delay jitter
-// within the synchrony bound, drawn from the simulation's seeded RNG.
+// within the synchrony bound, derived from the seed and the message's
+// scheduling key by a pure hash (DrawKeyed) — no shared RNG stream, so any
+// number of worker lanes can compute delays independently.
 //
 // The simulator is the measurement substrate for Table II: it accounts
 // messages and bytes per (phase, node), which the protocol layer aggregates
@@ -13,26 +15,24 @@
 // A pluggable fault model (SetFaults) can additionally drop messages in
 // flight, delay them beyond the synchrony bound, or crash and rejoin nodes
 // on a schedule — see the Faults interface and the Loss, Lag, Partition,
-// Churn, and Composite implementations. Without a model (or with NoFaults)
-// the engine is byte-identical to a fault-free network.
+// Churn, Adaptive, and Composite implementations. Without a model (or with
+// NoFaults) the engine is byte-identical to a fault-free network.
 //
-// Events at the same virtual timestamp destined to different nodes are
-// independent and may be executed on a worker pool (SetParallelism);
-// deliveries they generate are merged in deterministic order, so a seeded
-// run produces identical results at any parallelism level.
-//
-// The core is built for the ROADMAP's 10k–100k-node scale ceiling: events
-// flow through a per-tick calendar queue (calendar.go) and are recycled
-// via free lists, receiver-side metrics accumulate in per-lane shards
-// merged after each batch (metrics.go), and parallel batches run on a
-// persistent process-wide worker pool (workers.go) with node→lane
-// assignment precomputed at Register time. Steady-state message traffic
-// allocates nothing.
+// The scheduler is lane-sharded for the ROADMAP's 10k–100k-node scale
+// ceiling (see ARCHITECTURE.md, "Lane-sharded scheduler"). Every worker
+// lane owns a calendar queue, an event free list, and a Context free list;
+// a macro-step pops each lane's tick batch in parallel, renumbers the
+// merged batch once on the driving goroutine, executes lanes in parallel
+// with same-lane effects pushed lane-locally, and exchanges cross-lane
+// sends through per-(src,dst) outboxes drained by the destination lane.
+// Determinism is carried by the scheduling key (ks, kc) — a pure function
+// of the event's causal origin — which every lane layout sorts identically,
+// so a seeded run produces identical results at any parallelism level and
+// any registration order. Steady-state message traffic allocates nothing.
 package simnet
 
 import (
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
@@ -102,13 +102,25 @@ func (l Latency) bound(from, to NodeID) Time {
 	}
 }
 
-// Draw samples the delivery delay for a message on the (from, to) link
-// from the given RNG: uniform in [1, bound], or exactly the bound when the
-// model is Deterministic. The Network's own send path and the live
-// transport's clock both route through Draw with identically-seeded RNGs,
-// which is what makes the simnet an oracle for live runs — same link, same
-// RNG state, same delay.
-func (l Latency) Draw(rng *rand.Rand, from, to NodeID) Time {
+// mix64 is the splitmix64 finalizer: a fast invertible hash whose output
+// bits all depend on all input bits.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// DrawKeyed derives the delivery delay for a message on the (from, to)
+// link: uniform in [1, bound], or exactly the bound when the model is
+// Deterministic. The draw is a pure hash of (seed, ks, kc) — the run seed
+// and the message's scheduling key — so any goroutine can compute it
+// without touching shared RNG state, and the simnet and the live
+// transport derive identical delays for the same message (the oracle
+// contract: same seed, same key, same delay).
+func (l Latency) DrawKeyed(seed, ks uint64, kc uint32, from, to NodeID) Time {
 	b := l.bound(from, to)
 	if b < 1 {
 		b = 1
@@ -116,7 +128,8 @@ func (l Latency) Draw(rng *rand.Rand, from, to NodeID) Time {
 	if l.Deterministic {
 		return b
 	}
-	return Time(rng.Int63n(int64(b))) + 1
+	x := mix64(seed ^ ks*0x9E3779B97F4A7C15 ^ (uint64(kc)+1)*0xD6E8FEB86659FD93)
+	return Time(x%uint64(b)) + 1
 }
 
 type eventKind int
@@ -126,17 +139,32 @@ const (
 	evTimer
 )
 
+// event is one scheduled delivery. Two orderings coexist:
+//
+//   - (ks, kc) is the scheduling key, assigned at creation: ks is the
+//     final seq of the event that produced it (or a fresh counter value
+//     for external Send/After, with kc = 0) and kc is the index among
+//     that producer's effects. The key is a pure function of causal
+//     origin — independent of which lane pushed the event and of the
+//     real-time interleaving of lanes — and globally unique, because
+//     every counter value seeds the keys of exactly one event's effects.
+//   - seq is the final execution sequence, assigned when the event's tick
+//     batch is renumbered on the driving goroutine in merged (at, ks, kc)
+//     order. It exists so the event's own effects can be keyed.
 type event struct {
 	at   Time
-	seq  uint64 // tie-break for determinism
+	ks   uint64
+	seq  uint64
+	kc   uint32
 	kind eventKind
 	node NodeID // destination (message) or owner (timer)
 	late bool   // held beyond the synchrony bound by the fault model
 	msg  Message
 	fn   func(*Context)
+	ctx  *Context // slow-path effect buffer, attached between exec and apply
 }
 
-// eventHeap orders events by (at, seq). It backs the calendar queue's
+// eventHeap orders events by (at, ks, kc). It backs the calendar queue's
 // far-future overflow and serves as the ordering oracle in tests.
 type eventHeap []*event
 
@@ -145,7 +173,7 @@ func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
-	return h[i].seq < h[j].seq
+	return keyLess(h[i], h[j]) < 0
 }
 func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
@@ -158,9 +186,78 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
+// xmsg is one cross-lane send in flight between two lanes: a value record
+// (never a pooled pointer) so event structs stay inside their owning
+// lane's free list. The destination lane materialises it into one of its
+// own events during the exchange phase. Fast-path only — the fault-model
+// path applies all sends serially — so no late flag is needed.
+type xmsg struct {
+	at  Time
+	ks  uint64
+	kc  uint32
+	msg Message
+}
+
+// lane is one scheduler shard: a calendar queue, pools, batch scratch, and
+// cross-lane outboxes, all owned by one worker lane. During a macro-step a
+// lane's state is touched only by the worker running that lane (or by the
+// driving goroutine in the serial phases), so no locks are needed.
+type lane struct {
+	idx     int
+	q       *calQueue
+	batch   []*event // current tick's events, key-sorted by popBatch
+	skip    []bool
+	anySkip bool
+	nextAt  Time // earliest pending tick, refreshed by minTick
+	hasNext bool
+	drops   uint64   // dead-destination drops recorded this step
+	freeEv  []*event // lane-local event pool
+	freeCtx []*Context
+	execCtx Context  // fast path: one reusable effect buffer per lane
+	xout    [][]xmsg // xout[dst]: sends produced here for another lane
+}
+
+func newLane(idx int, horizon Time, lanes int) *lane {
+	return &lane{idx: idx, q: newCalQueue(horizon), xout: make([][]xmsg, lanes)}
+}
+
+// newEvent takes an event from the lane's free list (or allocates the
+// first time). Events return to the list of the lane that delivered them.
+func (ln *lane) newEvent() *event {
+	if k := len(ln.freeEv) - 1; k >= 0 {
+		ev := ln.freeEv[k]
+		ln.freeEv[k] = nil
+		ln.freeEv = ln.freeEv[:k]
+		return ev
+	}
+	return &event{}
+}
+
+func (ln *lane) freeEvent(ev *event) {
+	*ev = event{} // drop payload/fn/ctx references before pooling
+	ln.freeEv = append(ln.freeEv, ev)
+}
+
+func (ln *lane) newContext(node NodeID, t Time) *Context {
+	if k := len(ln.freeCtx) - 1; k >= 0 {
+		c := ln.freeCtx[k]
+		ln.freeCtx[k] = nil
+		ln.freeCtx = ln.freeCtx[:k]
+		c.Node, c.now = node, t
+		return c
+	}
+	return &Context{Node: node, now: t}
+}
+
+func (ln *lane) freeContext(c *Context) {
+	clear(c.out) // drop payload references, keep capacity
+	c.out = c.out[:0]
+	ln.freeCtx = append(ln.freeCtx, c)
+}
+
 // nodeSlot is the dense per-node table entry: the handler plus the
 // worker-lane assignment precomputed at Register/SetParallelism time, so
-// Step needs no per-batch map or order slice to group events.
+// a step needs no per-batch map or order slice to group events.
 type nodeSlot struct {
 	h    Handler
 	lane int32
@@ -169,10 +266,9 @@ type nodeSlot struct {
 // Network is the simulator instance.
 type Network struct {
 	latency     Latency
-	rng         *rand.Rand
+	seed        uint64 // raw seed fed to DrawKeyed
 	now         Time
-	seq         uint64
-	q           *calQueue
+	ctr         uint64          // unified key/sequence counter (see event)
 	slots       []nodeSlot      // handler + lane per node, indexed by NodeID
 	down        map[NodeID]bool // crashed/offline nodes drop all traffic
 	faults      Faults          // nil = fault-free (byte-identical to the pre-fault engine)
@@ -181,20 +277,27 @@ type Network struct {
 	parallelism int
 	delivered   uint64
 	dropped     uint64
+	horizon     Time
 
-	// Reusable per-step scratch and free lists (see ARCHITECTURE.md,
-	// "Sharded simnet core"): batch/ctxs/skip/laneIdx are truncated, never
-	// freed, and events/Contexts cycle through freeEv/freeCtx, so a warm
-	// network delivers messages without allocating.
-	batch   []*event
-	ctxs    []*Context
-	skip    []bool
-	curSkip []bool // nil unless this batch has skipped events
-	laneIdx [][]int32
+	lanes   []*lane
+	merged  []*event // slow-path scratch: the batch in merged key order
+	heads   []int    // renumber merge cursors
+	moved   []*event // SetParallelism redistribution scratch
 	stepWG  sync.WaitGroup
-	freeEv  []*event
-	freeCtx []*Context
+	lastPop int // previous batch size, steers pooled-vs-inline pop
+	folds   int // batches since the last mergeLanes fold
 }
+
+// mergeEvery is how many batches may elapse between folds of the per-lane
+// metrics shards into the shared maps. Counters are monotone sums and the
+// phase label is constant within a drain, so folding is deferrable; every
+// drain (and the public Step) folds before returning control to readers.
+const mergeEvery = 32
+
+// poolCutoff is the batch size below which a macro-step runs its phases
+// inline on the driving goroutine instead of dispatching the worker pool:
+// for a handful of events, three pool barriers cost more than the work.
+const poolCutoff = 64
 
 // New creates a network with the given latency model and seed.
 func New(latency Latency, seed int64) *Network {
@@ -205,36 +308,64 @@ func New(latency Latency, seed int64) *Network {
 	if latency.Delta > h {
 		h = latency.Delta
 	}
-	return &Network{
+	n := &Network{
 		latency: latency,
-		rng:     rand.New(rand.NewSource(seed)),
+		seed:    uint64(seed),
 		down:    make(map[NodeID]bool),
 		metrics: NewMetrics(),
 		// Cover the protocol's timer horizon (up to 4Γ phase guards and 6Δ
 		// watchdog sweeps) so only fault-model lag overflows to the heap.
-		q:           newCalQueue(4*h + 64),
+		horizon:     4*h + 64,
 		parallelism: 1,
 	}
+	n.lanes = []*lane{newLane(0, n.horizon, 1)}
+	n.metrics.ensureLanes(1)
+	return n
 }
 
-// SetParallelism sets the worker-lane count for same-timestamp event
-// batches. k ≤ 0 selects GOMAXPROCS. Lane assignments of already
-// registered nodes are recomputed, so call order against Register does
-// not matter.
+// SetParallelism sets the worker-lane count. k ≤ 0 selects GOMAXPROCS.
+// Lane assignments of already registered nodes are recomputed and pending
+// events are redistributed across the new lane layout (their scheduling
+// keys travel with them, so the merged order — and therefore the run — is
+// unchanged), so call order against Register and traffic does not matter.
 func (n *Network) SetParallelism(k int) {
 	if k <= 0 {
 		k = runtime.GOMAXPROCS(0)
 	}
+	if k == n.parallelism && len(n.lanes) == k {
+		return
+	}
+	n.moved = n.moved[:0]
+	for _, ln := range n.lanes {
+		n.moved = ln.q.drain(n.moved)
+	}
 	n.parallelism = k
+	for len(n.lanes) < k {
+		n.lanes = append(n.lanes, newLane(len(n.lanes), n.horizon, k))
+	}
+	n.lanes = n.lanes[:k]
+	for _, ln := range n.lanes {
+		ln.q.reset(n.now)
+		for len(ln.xout) < k {
+			ln.xout = append(ln.xout, nil)
+		}
+		ln.xout = ln.xout[:k]
+	}
 	for id := range n.slots {
 		n.slots[id].lane = int32(id % k)
 	}
+	for i, ev := range n.moved {
+		n.lanes[n.laneFor(ev.node, k)].q.push(ev)
+		n.moved[i] = nil
+	}
+	n.moved = n.moved[:0]
+	n.metrics.ensureLanes(k)
 }
 
 // Register installs the handler for a node. Re-registering replaces it
 // (used when a node changes role between rounds). The node's worker lane
-// is precomputed here: a stable modulo hash of the ID, so grouping a
-// batch by lane is a single indexed lookup per event.
+// is precomputed here: a stable modulo hash of the ID, so routing an
+// event to its lane is a single indexed lookup.
 func (n *Network) Register(id NodeID, h Handler) {
 	if id < 0 {
 		panic("simnet: Register with negative NodeID")
@@ -266,11 +397,16 @@ func (n *Network) laneFor(id NodeID, lanes int) int {
 	return l
 }
 
+// laneOf returns the lane that owns the node's events.
+func (n *Network) laneOf(id NodeID) *lane {
+	return n.lanes[n.laneFor(id, len(n.lanes))]
+}
+
 // SetDown marks a node offline (true) or online (false). Offline nodes
 // silently drop incoming messages and their timers do not fire — the
 // paper's "simply pretending to be offline" behaviour. Recovery deletes
 // the entry, so a fully recovered network runs the fault-free fast path
-// again (no dead-destination pre-pass per Step).
+// again (no dead-destination pre-pass per step).
 func (n *Network) SetDown(id NodeID, down bool) {
 	if down {
 		n.down[id] = true
@@ -309,49 +445,9 @@ func (n *Network) Delivered() uint64 { return n.delivered }
 // destinations so far.
 func (n *Network) Dropped() uint64 { return n.dropped }
 
-func (n *Network) push(ev *event) {
-	ev.seq = n.seq
-	n.seq++
-	n.q.push(ev)
-}
-
-// newEvent takes an event from the free list (or allocates the first
-// time). Events return to the list at the end of the Step that delivered
-// them, after all their effects are applied.
-func (n *Network) newEvent() *event {
-	if k := len(n.freeEv) - 1; k >= 0 {
-		ev := n.freeEv[k]
-		n.freeEv[k] = nil
-		n.freeEv = n.freeEv[:k]
-		return ev
-	}
-	return &event{}
-}
-
-func (n *Network) freeEvent(ev *event) {
-	*ev = event{} // drop payload/fn references before pooling
-	n.freeEv = append(n.freeEv, ev)
-}
-
-func (n *Network) newContext(node NodeID, t Time) *Context {
-	if k := len(n.freeCtx) - 1; k >= 0 {
-		c := n.freeCtx[k]
-		n.freeCtx[k] = nil
-		n.freeCtx = n.freeCtx[:k]
-		c.Node, c.now = node, t
-		return c
-	}
-	return &Context{Node: node, now: t}
-}
-
-func (n *Network) freeContext(c *Context) {
-	clear(c.out) // drop payload references, keep capacity
-	c.out = c.out[:0]
-	n.freeCtx = append(n.freeCtx, c)
-}
-
 // Send enqueues a message from outside any handler (e.g. test drivers and
-// round orchestration). Delay is drawn from the link's synchrony bound.
+// round orchestration). Delay is derived from the link's synchrony bound
+// and a fresh scheduling key.
 func (n *Network) Send(from, to NodeID, tag string, payload any, size int) {
 	n.enqueueMessage(Message{From: from, To: to, Tag: tag, Payload: payload, Size: size})
 }
@@ -361,15 +457,25 @@ func (n *Network) After(node NodeID, d Time, fn func(*Context)) {
 	if d < 1 {
 		d = 1
 	}
-	ev := n.newEvent()
-	ev.at, ev.kind, ev.node, ev.fn = n.now+d, evTimer, node, fn
-	n.push(ev)
+	ln := n.laneOf(node)
+	ev := ln.newEvent()
+	ev.at, ev.ks, ev.kind, ev.node, ev.fn = n.now+d, n.nextKey(), evTimer, node, fn
+	ln.q.push(ev)
 }
 
-func (n *Network) delay(from, to NodeID) Time {
-	return n.latency.Draw(n.rng, from, to)
+// nextKey consumes one counter value for an externally created event's
+// scheduling key (kc = 0). Handler effects never consume the counter at
+// creation — they are keyed by their producer's seq, which the renumber
+// pass drew from the same counter — so keys stay globally unique.
+func (n *Network) nextKey() uint64 {
+	k := n.ctr
+	n.ctr++
+	return k
 }
 
+// enqueueMessage is the external (driver-goroutine) send path. It records
+// metrics directly into the shared maps — the phase label may change
+// between drains, so external sends must not sit in a lane shard.
 func (n *Network) enqueueMessage(msg Message) {
 	if n.sendAudit != nil {
 		n.sendAudit(msg)
@@ -379,17 +485,19 @@ func (n *Network) enqueueMessage(msg Message) {
 		return
 	}
 	n.metrics.recordSend(msg)
-	d := n.delay(msg.From, msg.To)
-	ev := n.newEvent()
-	ev.at, ev.kind, ev.node, ev.msg = n.now+d, evMessage, msg.To, msg
-	n.push(ev)
+	ks := n.nextKey()
+	d := n.latency.DrawKeyed(n.seed, ks, 0, msg.From, msg.To)
+	ln := n.laneOf(msg.To)
+	ev := ln.newEvent()
+	ev.at, ev.ks, ev.kind, ev.node, ev.msg = n.now+d, ks, evMessage, msg.To, msg
+	ln.q.push(ev)
 }
 
-// enqueueWithFaults is the fault-model send path. It is only entered when
-// a model is installed, so the fault-free engine stays byte-identical to
-// the pre-fault implementation (no extra RNG draws, no accounting calls).
-// Sends happen on one goroutine in deterministic order, so the model's
-// Fate may consume its own seeded RNG.
+// enqueueWithFaults is the fault-model external send path. It is only
+// entered when a model is installed, so the fault-free engine stays
+// byte-identical to a network that never had SetFaults called. Sends
+// happen on one goroutine in deterministic order, so the model's Fate may
+// consume its own seeded RNG.
 func (n *Network) enqueueWithFaults(msg Message) {
 	if n.faults.Down(n.now, msg.From) {
 		return // a crashed sender transmits nothing
@@ -401,17 +509,20 @@ func (n *Network) enqueueWithFaults(msg Message) {
 		n.dropped++
 		return
 	}
-	d := n.delay(msg.From, msg.To)
-	// Late is tallied at delivery (Step), not here: a lagged message that
-	// dies at a crashed destination counts as dropped, never as late.
-	ev := n.newEvent()
-	ev.at, ev.kind, ev.node, ev.late, ev.msg = n.now+d+fate.Delay, evMessage, msg.To, fate.Delay > 0, msg
-	n.push(ev)
+	ks := n.nextKey()
+	d := n.latency.DrawKeyed(n.seed, ks, 0, msg.From, msg.To)
+	// Late is tallied at delivery, not here: a lagged message that dies at
+	// a crashed destination counts as dropped, never as late.
+	ln := n.laneOf(msg.To)
+	ev := ln.newEvent()
+	ev.at, ev.ks, ev.kind, ev.node, ev.late, ev.msg = n.now+d+fate.Delay, ks, evMessage, msg.To, fate.Delay > 0, msg
+	ln.q.push(ev)
 }
 
 // Context is the per-delivery effect buffer handed to handlers. Handlers
 // must route all sends and timers through it; effects are applied in
-// deterministic order after the (possibly parallel) batch completes.
+// deterministic order — lane-locally on the fault-free fast path, on the
+// single-threaded barrier under a fault model or send audit.
 type Context struct {
 	Node NodeID
 	now  Time
@@ -448,8 +559,7 @@ func (c *Context) After(d Time, fn func(*Context)) {
 // NewContext returns a standalone effect buffer for transports that run
 // handlers outside a Network — the live transport hands one to each
 // handler invocation and drains it with Effects. Contexts created here are
-// not pooled; the Network's own deliveries keep using the internal free
-// list.
+// not pooled; the Network's own deliveries keep using the lane free lists.
 func NewContext(node NodeID, now Time) *Context {
 	return &Context{Node: node, now: now}
 }
@@ -467,176 +577,408 @@ func (c *Context) Effects(onMsg func(Message), onTimer func(d Time, fn func(*Con
 	}
 }
 
-// Step processes every event scheduled at the earliest pending timestamp.
+// minTick refreshes every lane's earliest pending tick and returns the
+// cross-lane minimum — the serial reduction that replaced the old global
+// peek. O(lanes) slice-header scans per macro-step.
+func (n *Network) minTick() (Time, bool) {
+	t := Time(-1)
+	for _, ln := range n.lanes {
+		lt, ok := ln.q.peek()
+		ln.nextAt, ln.hasNext = lt, ok
+		if ok && (t < 0 || lt < t) {
+			t = lt
+		}
+	}
+	return t, t >= 0
+}
+
+// Step processes every event scheduled at the earliest pending timestamp
+// and folds the metrics shards so readers see the result immediately.
 // It returns false when no events remain.
 func (n *Network) Step() bool {
-	t, ok := n.q.peek()
+	t, ok := n.minTick()
 	if !ok {
 		return false
 	}
 	n.stepAt(t)
+	n.metrics.mergeLanes()
+	n.folds = 0
 	return true
 }
 
-// stepAt runs the batch at tick t (which peek reported as earliest).
+// stepAt runs the macro-step at tick t (which minTick reported as the
+// cross-lane earliest): parallel per-lane pop, serial renumber, parallel
+// execution, parallel cross-lane exchange, serial counter fold.
 func (n *Network) stepAt(t Time) {
 	n.now = t
-	n.batch = n.q.popBatch(t, n.batch[:0])
-	batch := n.batch
+	slow := n.faults != nil || n.sendAudit != nil
 
-	// Dead-destination pre-pass: events owned by a node that is down
-	// (SetDown or the fault model's crash schedule) are skipped, and
-	// skipped messages are accounted as dropped — in deterministic batch
-	// order, before any (possibly parallel) execution. curSkip stays nil
-	// on the fault-free path; the buffer is reused across Steps.
-	n.curSkip = nil
-	if len(n.down) > 0 || n.faults != nil {
-		if cap(n.skip) < len(batch) {
-			n.skip = make([]bool, len(batch))
+	// Phase A: every lane with events at t pops and key-sorts its batch,
+	// running the dead-destination pre-pass (skip flags + drop accounting
+	// into the lane's own metrics shard) as it goes. Pooled only when the
+	// previous batch suggests the sort work dwarfs the barrier cost.
+	if n.parallelism > 1 && n.lastPop >= poolCutoff {
+		n.dispatch(phasePop)
+	} else {
+		for _, ln := range n.lanes {
+			if ln.hasNext && ln.nextAt == t {
+				n.popLane(ln)
+			}
 		}
-		skip := n.skip[:len(batch)]
-		hit := false
-		for i, ev := range batch {
-			s := n.down[ev.node] || (n.faults != nil && n.faults.Down(t, ev.node))
-			skip[i] = s
-			if s {
-				hit = true
-				if ev.kind == evMessage {
-					n.metrics.recordDropped(ev.msg)
-					n.dropped++
+	}
+
+	// Serial barrier: assign final seqs in merged (ks, kc) order — the one
+	// canonical order every lane layout produces — so the keys of every
+	// event's effects are independent of parallelism.
+	total := n.renumber(slow)
+	n.lastPop = total
+
+	// Phase B: execute. The fault-free fast path applies effects inline —
+	// timers and same-lane sends push into the lane's own calendar queue,
+	// cross-lane sends land in value outboxes. Under a fault model or send
+	// audit the lanes only buffer Contexts; effects apply serially below,
+	// preserving the Fate/audit contract (one goroutine, key order).
+	pooled := n.parallelism > 1 && total > 1
+	if slow {
+		if pooled {
+			n.dispatch(phaseExecSlow)
+		} else {
+			for _, ln := range n.lanes {
+				if len(ln.batch) > 0 {
+					n.execLaneSlow(ln)
 				}
 			}
 		}
-		if hit {
-			n.curSkip = skip
-		}
-	}
-
-	if cap(n.ctxs) < len(batch) {
-		n.ctxs = make([]*Context, len(batch))
-	}
-	n.ctxs = n.ctxs[:len(batch)]
-	for i, ev := range batch {
-		if n.curSkip != nil && n.curSkip[i] {
-			n.ctxs[i] = nil
-			continue
-		}
-		n.ctxs[i] = n.newContext(ev.node, t)
-	}
-
-	lanes := n.parallelism
-	n.metrics.ensureLanes(lanes)
-	if lanes > 1 && len(batch) > 1 {
-		// Group by precomputed lane. A node's events always land in its one
-		// lane and each lane runs its events in batch (seq) order, so
-		// per-lane execution preserves the old per-node serialisation.
-		if cap(n.laneIdx) < lanes {
-			n.laneIdx = make([][]int32, lanes)
-		}
-		n.laneIdx = n.laneIdx[:lanes]
-		for l := range n.laneIdx {
-			n.laneIdx[l] = n.laneIdx[l][:0]
-		}
-		active := 0
-		for i, ev := range batch {
-			l := n.laneFor(ev.node, lanes)
-			if len(n.laneIdx[l]) == 0 {
-				active++
-			}
-			n.laneIdx[l] = append(n.laneIdx[l], int32(i))
-		}
-		n.stepWG.Add(active)
-		for l := range n.laneIdx {
-			if len(n.laneIdx[l]) > 0 {
-				submitLane(laneTask{net: n, lane: l, wg: &n.stepWG})
-			}
-		}
-		n.stepWG.Wait()
+		n.applySlow()
 	} else {
-		for i := range batch {
-			n.runEvent(i, 0)
+		if pooled {
+			n.dispatch(phaseExecFast)
+		} else {
+			for _, ln := range n.lanes {
+				if len(ln.batch) > 0 {
+					n.execLaneFast(ln)
+				}
+			}
+		}
+		// Phase C: destination lanes drain the outboxes addressed to them,
+		// materialising each record from their own free list.
+		xtotal := 0
+		for _, src := range n.lanes {
+			for _, recs := range src.xout {
+				xtotal += len(recs)
+			}
+		}
+		if xtotal > 0 {
+			if pooled && xtotal >= poolCutoff {
+				n.dispatch(phaseExchange)
+			} else {
+				for _, ln := range n.lanes {
+					n.exchangeLane(ln)
+				}
+			}
 		}
 	}
-	// Fold the lanes' receiver-side shards into the shared maps — the
-	// merge is commutative sums on the single-threaded path, so totals are
-	// deterministic regardless of how lanes interleaved.
-	n.metrics.mergeLanes()
 
-	// Apply effects in deterministic (event seq) order. Delivery counts
-	// for sends happen here so the metrics order is deterministic too.
-	for i, ctx := range n.ctxs {
-		if ctx == nil {
+	// Serial fold: batch counters and shard amortisation.
+	for _, ln := range n.lanes {
+		if len(ln.batch) > 0 {
+			n.delivered += uint64(len(ln.batch))
+			ln.batch = ln.batch[:0]
+		}
+		if ln.drops > 0 {
+			n.dropped += ln.drops
+			ln.drops = 0
+		}
+	}
+	n.folds++
+	if n.folds >= mergeEvery {
+		n.metrics.mergeLanes()
+		n.folds = 0
+	}
+}
+
+// popLane pops one lane's tick batch and runs the dead-destination
+// pre-pass: events owned by a node that is down (SetDown or the fault
+// model's crash schedule) are flagged, and skipped messages are accounted
+// as dropped into the lane's own shard. Runs on pool workers; touches only
+// lane-owned state plus read-only maps and the pure Faults.Down.
+func (n *Network) popLane(ln *lane) {
+	ln.batch = ln.q.popBatch(n.now, ln.batch[:0])
+	ln.anySkip = false
+	if len(n.down) == 0 && n.faults == nil {
+		return
+	}
+	if cap(ln.skip) < len(ln.batch) {
+		ln.skip = make([]bool, len(ln.batch))
+	}
+	ln.skip = ln.skip[:len(ln.batch)]
+	sh := &n.metrics.lanes[ln.idx]
+	for i, ev := range ln.batch {
+		s := n.down[ev.node] || (n.faults != nil && n.faults.Down(n.now, ev.node))
+		ln.skip[i] = s
+		if s {
+			ln.anySkip = true
+			if ev.kind == evMessage {
+				sh.recordDropped(ev.msg)
+				ln.drops++
+			}
+		}
+	}
+}
+
+// renumber assigns final seqs to the popped batch in merged (ks, kc)
+// order via an L-way merge over the key-sorted lane batches. When
+// buildMerged is set (the slow path) it also collects the merged order
+// for the serial effect-application barrier. Returns the batch total.
+func (n *Network) renumber(buildMerged bool) int {
+	if buildMerged {
+		n.merged = n.merged[:0]
+	}
+	total, active := 0, 0
+	var single *lane
+	for _, ln := range n.lanes {
+		if len(ln.batch) > 0 {
+			total += len(ln.batch)
+			active++
+			single = ln
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	if active == 1 {
+		for _, ev := range single.batch {
+			ev.seq = n.ctr
+			n.ctr++
+		}
+		if buildMerged {
+			n.merged = append(n.merged, single.batch...)
+		}
+		return total
+	}
+	L := len(n.lanes)
+	if cap(n.heads) < L {
+		n.heads = make([]int, L)
+	}
+	heads := n.heads[:L]
+	for i := range heads {
+		heads[i] = 0
+	}
+	for done := 0; done < total; done++ {
+		var best *event
+		bi := -1
+		for i, ln := range n.lanes {
+			if heads[i] < len(ln.batch) {
+				ev := ln.batch[heads[i]]
+				if best == nil || keyLess(ev, best) < 0 {
+					best, bi = ev, i
+				}
+			}
+		}
+		best.seq = n.ctr
+		n.ctr++
+		heads[bi]++
+		if buildMerged {
+			n.merged = append(n.merged, best)
+		}
+	}
+	return total
+}
+
+// execLaneFast runs one lane's batch on the fault-free fast path: the
+// handler fires with the lane's reusable Context, then its effects apply
+// inline — timers and same-lane sends push into this lane's calendar
+// queue from this lane's free list, cross-lane sends append to the value
+// outbox for the destination lane. Send-side metrics go to this lane's
+// shard. Runs on pool workers; all state touched is lane-owned.
+func (n *Network) execLaneFast(ln *lane) {
+	sh := &n.metrics.lanes[ln.idx]
+	ctx := &ln.execCtx
+	t := n.now
+	L := len(n.lanes)
+	for i, ev := range ln.batch {
+		if ln.anySkip && ln.skip[i] {
+			ln.freeEvent(ev)
 			continue
 		}
-		for _, ef := range ctx.out {
+		ctx.Node, ctx.now = ev.node, t
+		switch ev.kind {
+		case evMessage:
+			h := n.handlerOf(ev.node)
+			if h == nil {
+				ln.freeEvent(ev)
+				continue
+			}
+			sh.recordRecv(ev.msg)
+			if ev.late {
+				sh.recordLate(ev.msg)
+			}
+			h(ctx, ev.msg)
+		case evTimer:
+			fn := ev.fn
+			fn(ctx)
+		}
+		pseq, node := ev.seq, ev.node
+		ln.freeEvent(ev) // may be recycled for a child immediately below
+		for idx := range ctx.out {
+			ef := &ctx.out[idx]
 			if ef.isTimer {
 				d := ef.delay
 				if d < 1 {
 					d = 1
 				}
-				ev := n.newEvent()
-				ev.at, ev.kind, ev.node, ev.fn = t+d, evTimer, ctx.Node, ef.fn
-				n.push(ev)
+				ch := ln.newEvent()
+				ch.at, ch.ks, ch.kc, ch.kind, ch.node, ch.fn = t+d, pseq, uint32(idx), evTimer, node, ef.fn
+				ln.q.push(ch)
 			} else {
-				n.enqueueMessage(ef.msg)
+				msg := ef.msg
+				sh.recordSend(msg)
+				d := n.latency.DrawKeyed(n.seed, pseq, uint32(idx), msg.From, msg.To)
+				if dl := n.laneFor(msg.To, L); dl == ln.idx {
+					ch := ln.newEvent()
+					ch.at, ch.ks, ch.kc, ch.kind, ch.node, ch.msg = t+d, pseq, uint32(idx), evMessage, msg.To, msg
+					ln.q.push(ch)
+				} else {
+					ln.xout[dl] = append(ln.xout[dl], xmsg{at: t + d, ks: pseq, kc: uint32(idx), msg: msg})
+				}
 			}
 		}
-		n.freeContext(ctx)
-		n.ctxs[i] = nil
+		clear(ctx.out)
+		ctx.out = ctx.out[:0]
 	}
-	for i, ev := range batch {
-		n.freeEvent(ev)
-		batch[i] = nil
-	}
-	n.delivered += uint64(len(batch))
 }
 
-// runEvent executes one batch event on the given metrics lane. It runs on
-// pool workers during parallel batches: it reads only batch-immutable
-// state, writes only its own event's Context and its lane's metrics
-// shard, and buffers all sends/timers in the Context.
-func (n *Network) runEvent(i, lane int) {
-	ev := n.batch[i]
-	if n.curSkip != nil && n.curSkip[i] {
-		return
+// execLaneSlow runs one lane's batch under a fault model or send audit:
+// handlers fire in parallel exactly as on the fast path, but effects stay
+// buffered in per-event Contexts for the serial barrier. Receive-side
+// metrics still go to the lane shard.
+func (n *Network) execLaneSlow(ln *lane) {
+	sh := &n.metrics.lanes[ln.idx]
+	t := n.now
+	for i, ev := range ln.batch {
+		ev.ctx = nil
+		if ln.anySkip && ln.skip[i] {
+			continue
+		}
+		switch ev.kind {
+		case evMessage:
+			h := n.handlerOf(ev.node)
+			if h == nil {
+				continue
+			}
+			ctx := ln.newContext(ev.node, t)
+			ev.ctx = ctx
+			sh.recordRecv(ev.msg)
+			if ev.late {
+				sh.recordLate(ev.msg)
+			}
+			h(ctx, ev.msg)
+		case evTimer:
+			ctx := ln.newContext(ev.node, t)
+			ev.ctx = ctx
+			ev.fn(ctx)
+		}
 	}
-	switch ev.kind {
-	case evMessage:
-		h := n.handlerOf(ev.node)
-		if h == nil {
+}
+
+// applySlow applies the batch's buffered effects on the driving goroutine
+// in merged key order — exactly the order the pre-shard engine used — so
+// the fault model's Fate is consulted once per message, on one goroutine,
+// in an order independent of parallelism, and the send audit observes the
+// same sequence. Events and Contexts return to their owning lane's pools.
+func (n *Network) applySlow() {
+	for mi, ev := range n.merged {
+		ln := n.laneOf(ev.node)
+		if ctx := ev.ctx; ctx != nil {
+			for idx := range ctx.out {
+				ef := &ctx.out[idx]
+				if ef.isTimer {
+					d := ef.delay
+					if d < 1 {
+						d = 1
+					}
+					ch := ln.newEvent()
+					ch.at, ch.ks, ch.kc, ch.kind, ch.node, ch.fn = n.now+d, ev.seq, uint32(idx), evTimer, ev.node, ef.fn
+					ln.q.push(ch)
+				} else {
+					n.sendSlow(ef.msg, ev.seq, uint32(idx))
+				}
+			}
+			ev.ctx = nil
+			ln.freeContext(ctx)
+		}
+		ln.freeEvent(ev)
+		n.merged[mi] = nil
+	}
+	n.merged = n.merged[:0]
+}
+
+// sendSlow is the barrier send path: audit, fault fate, accounting (into
+// the sender's lane shard — the barrier is single-threaded, so shard
+// writes cannot race), delay, push into the destination's lane.
+func (n *Network) sendSlow(msg Message, ks uint64, kc uint32) {
+	if n.sendAudit != nil {
+		n.sendAudit(msg)
+	}
+	if n.faults != nil && n.faults.Down(n.now, msg.From) {
+		return // a crashed sender transmits nothing
+	}
+	sh := &n.metrics.lanes[n.laneFor(msg.From, len(n.lanes))]
+	sh.recordSend(msg)
+	var extra Time
+	if n.faults != nil {
+		fate := n.faults.Fate(n.now, msg.From, msg.To)
+		if fate.Drop {
+			dsh := &n.metrics.lanes[n.laneFor(msg.To, len(n.lanes))]
+			dsh.recordDropped(msg)
+			n.dropped++
 			return
 		}
-		sh := &n.metrics.lanes[lane]
-		sh.recordRecv(ev.msg)
-		if ev.late {
-			sh.recordLate(ev.msg)
-		}
-		h(n.ctxs[i], ev.msg)
-	case evTimer:
-		ev.fn(n.ctxs[i])
+		extra = fate.Delay
 	}
+	d := n.latency.DrawKeyed(n.seed, ks, kc, msg.From, msg.To)
+	dl := n.laneOf(msg.To)
+	ev := dl.newEvent()
+	ev.at, ev.ks, ev.kc, ev.kind, ev.node, ev.late, ev.msg = n.now+d+extra, ks, kc, evMessage, msg.To, extra > 0, msg
+	dl.q.push(ev)
 }
 
-// runLane executes the current batch's events assigned to one lane, in
-// batch order.
-func (n *Network) runLane(lane int) {
-	for _, i := range n.laneIdx[lane] {
-		n.runEvent(int(i), lane)
+// exchangeLane drains every outbox addressed to this lane, materialising
+// each record as an event from this lane's free list. Runs on pool
+// workers: slot xout[src][dst] is written only by src during execution
+// and only by dst here, with the exec barrier ordering the two.
+func (n *Network) exchangeLane(dst *lane) {
+	for _, src := range n.lanes {
+		recs := src.xout[dst.idx]
+		if len(recs) == 0 {
+			continue
+		}
+		for i := range recs {
+			x := &recs[i]
+			ev := dst.newEvent()
+			ev.at, ev.ks, ev.kc, ev.kind, ev.node, ev.msg = x.at, x.ks, x.kc, evMessage, x.msg.To, x.msg
+			dst.q.push(ev)
+			recs[i] = xmsg{} // drop payload references
+		}
+		src.xout[dst.idx] = recs[:0]
 	}
 }
 
 // Run processes events until the queue is empty or virtual time would
-// exceed `until` (0 means no limit). It returns the number of events
-// processed.
+// exceed `until` (0 means no limit), then folds the metrics shards so
+// readers between drains always see fully merged accounting. It returns
+// the number of events processed.
 func (n *Network) Run(until Time) uint64 {
 	start := n.delivered
 	for {
-		t, ok := n.q.peek()
+		t, ok := n.minTick()
 		if !ok || (until > 0 && t > until) {
 			break
 		}
 		n.stepAt(t)
 	}
+	n.metrics.mergeLanes()
+	n.folds = 0
 	return n.delivered - start
 }
 
@@ -644,11 +986,17 @@ func (n *Network) Run(until Time) uint64 {
 func (n *Network) RunUntilIdle() uint64 { return n.Run(0) }
 
 // Pending returns the number of queued events (for tests).
-func (n *Network) Pending() int { return n.q.len() }
+func (n *Network) Pending() int {
+	total := 0
+	for _, ln := range n.lanes {
+		total += ln.q.len()
+	}
+	return total
+}
 
 // String summarises the simulator state.
 func (n *Network) String() string {
-	return fmt.Sprintf("simnet{t=%d, pending=%d, delivered=%d}", n.now, n.q.len(), n.delivered)
+	return fmt.Sprintf("simnet{t=%d, pending=%d, delivered=%d}", n.now, n.Pending(), n.delivered)
 }
 
 // Sort helper used by higher layers for canonical node sets.

@@ -5,24 +5,84 @@ import (
 	"sync"
 )
 
-// The simulator used to spawn a goroutine per node group on every Step.
+// The simulator used to spawn a goroutine per node group on every step.
 // At 10× paper scale that is tens of thousands of goroutine launches per
 // tick. Instead, a single process-wide pool of persistent workers serves
-// every Network: a Step publishes its batch state, submits one task per
-// non-empty lane, and waits. Sharing one pool across Networks (sweeps
-// create thousands of them) means no per-Network goroutines to leak and
-// no finalizer bookkeeping; a task holds its Network only for the
-// duration of one lane run.
+// every Network: a macro-step publishes its batch state, submits one task
+// per participating lane and phase (pop, execute, exchange), and waits.
+// Sharing one pool across Networks (sweeps create thousands of them)
+// means no per-Network goroutines to leak and no finalizer bookkeeping; a
+// task holds its Network only for the duration of one lane phase.
 //
 // Determinism is unaffected by the worker count: lane assignment is a
 // pure function of NodeID and the Network's parallelism (see laneFor),
-// lanes execute their events in batch (seq) order, and all effects are
-// buffered and applied on the single-threaded path afterwards. Workers
-// never submit tasks, so pool starvation cannot deadlock.
+// each lane phase touches only lane-owned state, and the orders that
+// matter — batch renumbering and fault-model effect application — run on
+// the single-threaded barriers between phases. Workers never submit
+// tasks, so pool starvation cannot deadlock.
 type laneTask struct {
-	net  *Network
-	lane int
-	wg   *sync.WaitGroup
+	net   *Network
+	lane  int
+	phase int
+	wg    *sync.WaitGroup
+}
+
+// Macro-step phases a pool worker can run for one lane.
+const (
+	phasePop = iota
+	phaseExecFast
+	phaseExecSlow
+	phaseExchange
+)
+
+// wants reports whether a lane participates in the given phase of the
+// current macro-step. Kept a method (not a closure) so dispatch stays
+// allocation-free on the steady-state path.
+func (n *Network) wants(phase int, ln *lane) bool {
+	switch phase {
+	case phasePop:
+		return ln.hasNext && ln.nextAt == n.now
+	case phaseExecFast, phaseExecSlow:
+		return len(ln.batch) > 0
+	default: // phaseExchange: the per-source check is inside exchangeLane
+		return true
+	}
+}
+
+// dispatch fans one phase out across the participating lanes and waits
+// for the barrier.
+func (n *Network) dispatch(phase int) {
+	cnt := 0
+	for _, ln := range n.lanes {
+		if n.wants(phase, ln) {
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return
+	}
+	n.stepWG.Add(cnt)
+	for i, ln := range n.lanes {
+		if n.wants(phase, ln) {
+			submitLane(laneTask{net: n, lane: i, phase: phase, wg: &n.stepWG})
+		}
+	}
+	n.stepWG.Wait()
+}
+
+// runPhase executes one lane's share of a phase on a pool worker.
+func (n *Network) runPhase(phase, lane int) {
+	ln := n.lanes[lane]
+	switch phase {
+	case phasePop:
+		n.popLane(ln)
+	case phaseExecFast:
+		n.execLaneFast(ln)
+	case phaseExecSlow:
+		n.execLaneSlow(ln)
+	case phaseExchange:
+		n.exchangeLane(ln)
+	}
 }
 
 var (
@@ -44,7 +104,7 @@ func startPool() {
 	for i := 0; i < w; i++ {
 		go func() {
 			for t := range poolTasks {
-				t.net.runLane(t.lane)
+				t.net.runPhase(t.phase, t.lane)
 				t.wg.Done()
 			}
 		}()

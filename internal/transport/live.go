@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"sync"
 
 	"cycledger/internal/simnet"
@@ -22,15 +21,27 @@ import (
 // identical RoundReports, virtual durations included — produced by real
 // message passing.
 //
-// Mechanics of one message: at send time the clock records metrics, draws
-// the delay, pushes the delivery event, and hands the encoded frame to
-// the (from → to) link's write pump. The destination's read loop decodes
-// frames as they arrive and files them in the node's inbox under the
-// event's sequence number; when the clock later dispatches the delivery,
-// the node goroutine claims exactly that payload (blocking briefly if the
-// bytes are still in flight), runs the handler, and returns the buffered
-// effects. Timers stay in-process: closures cannot be serialised, and the
-// oracle contract only concerns messages.
+// Mechanics of one message: at send time the clock records metrics,
+// derives the delay from the message's scheduling key with the same pure
+// hash the simulator uses (Latency.DrawKeyed), pushes the delivery event,
+// and hands the encoded frame to the (from → to) link's write pump. The
+// destination's read loop decodes frames as they arrive and files them in
+// the node's inbox under the event's sequence number; when the clock
+// later dispatches the delivery, the node goroutine claims exactly that
+// payload (blocking briefly if the bytes are still in flight), runs the
+// handler, and returns the buffered effects. Timers stay in-process:
+// closures cannot be serialised, and the oracle contract only concerns
+// messages.
+//
+// Key parity with the simulator: the clock mirrors the simnet's unified
+// key/sequence counter (renum). External Sends and Afters consume one
+// counter value each; every popped event — skipped or not — consumes one
+// as its renumber seq, in batch order; a handler effect is keyed by its
+// producer's renumber seq and its index among that producer's effects.
+// The clock pushes events in ascending key order (external pushes consume
+// the counter as they go, and batch effects apply in renumber × index
+// order), so the heap's (at, push-seq) order coincides with the
+// simulator's canonical (at, key) order tick by tick.
 //
 // Restrictions: fault models are rejected by SetFaults (fault injection
 // belongs to the simulator oracle), and SetParallelism is a no-op — the
@@ -40,16 +51,17 @@ import (
 // than silently diverging from the oracle.
 type Live struct {
 	lat     simnet.Latency
-	rng     *rand.Rand
+	seed    uint64 // raw seed fed to DrawKeyed, mirroring the simulator
 	codec   Codec
 	mesh    Mesh
 	metrics *simnet.Metrics
 	audit   func(simnet.Message)
 
-	now  simnet.Time
-	seq  uint64
-	heap liveHeap
-	down map[simnet.NodeID]bool
+	now   simnet.Time
+	seq   uint64 // heap push order; also the inbox frame key
+	renum uint64 // the simulator's unified key/sequence counter, mirrored
+	heap  liveHeap
+	down  map[simnet.NodeID]bool
 
 	nodes map[simnet.NodeID]*liveNode
 	links map[linkKey]*link
@@ -65,7 +77,7 @@ type Live struct {
 func NewLive(codec Codec, mesh Mesh, lat simnet.Latency, seed int64) *Live {
 	return &Live{
 		lat:     lat,
-		rng:     rand.New(rand.NewSource(seed)),
+		seed:    uint64(seed),
 		codec:   codec,
 		mesh:    mesh,
 		metrics: simnet.NewMetrics(),
@@ -146,10 +158,13 @@ type nodeWork struct {
 	done  chan error
 }
 
-// slot pairs a batch event with the effect buffer its execution produced.
+// slot pairs a batch event with the effect buffer its execution produced
+// and the renumber seq the clock assigned it in batch order — the ks every
+// effect of this event is keyed under.
 type slot struct {
-	ev  *liveEvent
-	ctx *simnet.Context
+	ev    *liveEvent
+	ctx   *simnet.Context
+	renum uint64
 }
 
 var errClosed = errors.New("transport: live transport closed")
@@ -320,15 +335,17 @@ func (l *Live) push(ev *liveEvent) {
 }
 
 // send is the single message path — external Sends and handler effects
-// both land here, in deterministic order on the clock goroutine. The
-// audit → metrics → delay-draw sequence mirrors the simulator's exactly,
-// which is what keeps the shared RNG in lockstep.
-func (l *Live) send(msg simnet.Message) {
+// both land here, in deterministic order on the clock goroutine, carrying
+// the message's scheduling key (ks, kc). The audit → metrics → delay
+// sequence mirrors the simulator's exactly; the delay itself is the same
+// pure hash of (seed, key) the simulator computes, which is what keeps
+// the two schedules in lockstep without a shared RNG.
+func (l *Live) send(msg simnet.Message, ks uint64, kc uint32) {
 	if l.audit != nil {
 		l.audit(msg)
 	}
 	l.metrics.RecordSend(msg)
-	d := l.lat.Draw(l.rng, msg.From, msg.To)
+	d := l.lat.DrawKeyed(l.seed, ks, kc, msg.From, msg.To)
 	ev := &liveEvent{
 		at:   l.now + d,
 		node: msg.To,
@@ -347,16 +364,24 @@ func (l *Live) send(msg simnet.Message) {
 	l.linkTo(msg.From, msg.To).ch <- frame
 }
 
-// Send enqueues a message from outside any handler.
+// Send enqueues a message from outside any handler, consuming one counter
+// value for its scheduling key exactly as the simulator's external send
+// path does.
 func (l *Live) Send(from, to simnet.NodeID, tag string, payload any, size int) {
-	l.send(simnet.Message{From: from, To: to, Tag: tag, Payload: payload, Size: size})
+	ks := l.renum
+	l.renum++
+	l.send(simnet.Message{From: from, To: to, Tag: tag, Payload: payload, Size: size}, ks, 0)
 }
 
 // After schedules fn on the given node after delay d (clamped to ≥ 1).
+// The timer draws no delay, but it consumes one counter value — the
+// simulator keys external timers the same way, and the counters must
+// stay in lockstep for delay parity.
 func (l *Live) After(node simnet.NodeID, d simnet.Time, fn func(*simnet.Context)) {
 	if d < 1 {
 		d = 1
 	}
+	l.renum++
 	l.push(&liveEvent{at: l.now + d, timer: true, node: node, fn: fn})
 }
 
@@ -380,6 +405,14 @@ func (l *Live) RunUntilIdle() uint64 {
 		}
 		count += uint64(len(batch))
 		l.delivered += uint64(len(batch))
+
+		// Renumber the batch: every popped event consumes one counter value
+		// in heap order — skipped, down, and noLink events included — just
+		// as the simulator renumbers its merged batch at the pop barrier.
+		for _, s := range batch {
+			s.renum = l.renum
+			l.renum++
+		}
 
 		for k := range perNode {
 			delete(perNode, k)
@@ -431,11 +464,18 @@ func (l *Live) RunUntilIdle() uint64 {
 				continue
 			}
 			node := s.ev.node
-			s.ctx.Effects(l.send, func(d simnet.Time, fn func(*simnet.Context)) {
+			// Message and timer effects share one index space under the
+			// producer's renumber seq, matching the simulator's keying.
+			ks, idx := s.renum, uint32(0)
+			s.ctx.Effects(func(m simnet.Message) {
+				l.send(m, ks, idx)
+				idx++
+			}, func(d simnet.Time, fn func(*simnet.Context)) {
 				if d < 1 {
 					d = 1
 				}
 				l.push(&liveEvent{at: t + d, timer: true, node: node, fn: fn})
+				idx++
 			})
 		}
 	}

@@ -108,8 +108,8 @@ func TestNewRejectsBadInputs(t *testing.T) {
 }
 
 func TestScenarioRegistry(t *testing.T) {
-	names := []string{"default", "paper-scale", "scale-10x", "leader-fault", "no-recovery",
-		"dos-prescreen", "parallel-blockgen", "cross-heavy", "reputation"}
+	names := []string{"default", "paper-scale", "scale-10x", "scale-50x", "leader-fault",
+		"no-recovery", "dos-prescreen", "parallel-blockgen", "cross-heavy", "reputation"}
 	for _, name := range names {
 		s, ok := sim.Lookup(name)
 		if !ok {

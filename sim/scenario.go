@@ -111,6 +111,17 @@ func init() {
 		},
 	})
 	mustRegister(Scenario{
+		Name:        "scale-50x",
+		Description: "the lane-sharded scheduler's ceiling: the paper's geometry with 50× the committees (m = 1000, n ≈ 97k); extremely heavy — run a single round at full parallelism",
+		Paper:       "§III-D scalability, extrapolated ×50",
+		Options: []Option{
+			WithTopology(1000, 97, 40, 60),
+			WithWorkload(100, 1.0/3, 0),
+			WithPipeline(false, 0),
+			WithRounds(1),
+		},
+	})
+	mustRegister(Scenario{
 		Name:        "leader-fault",
 		Description: "every bootstrap leader equivocates and conceals cross-shard lists; recovery evicts them mid-round",
 		Paper:       "§V-D, Algorithm 6 / Fig. 6",

@@ -22,6 +22,9 @@ func TestScenarioGolden(t *testing.T) {
 			if (scen.Name == "paper-scale" || scen.Name == "scale-10x") && os.Getenv("CYCLEDGER_PAPER_SCALE") == "" {
 				t.Skip("set CYCLEDGER_PAPER_SCALE=1 to golden-test the paper-scale and 10×-scale scenarios")
 			}
+			if scen.Name == "scale-50x" && os.Getenv("CYCLEDGER_SCALE_BIG") == "" {
+				t.Skip("set CYCLEDGER_SCALE_BIG=1 to golden-test the 50×-scale scenario (a ~97k-node round, twice)")
+			}
 			cfg, err := scen.Config()
 			if err != nil {
 				t.Fatal(err)

@@ -20,9 +20,15 @@
 // With -check the run additionally enforces the EXPERIMENTS.md
 // no-regression contract against the given committed document: the tool
 // exits 1 when any benchmark's allocs/op or ticks/round exceeds the
-// committed value by more than -check-tol, and also when no benchmark
-// names match at all (a renamed bench must not silently disable the
-// gate). ns/op is never gated (CI hardware is noise); the tolerance
+// committed value by more than -check-tol, when no benchmark names match
+// at all (a renamed bench must not silently disable the gate), and when
+// a committed benchmark cell is absent from the run — unless its name
+// matches -check-allow-missing, the opt-out for env-gated cells such as
+// the CYCLEDGER_SCALE_BIG 50×-scale cell. A goos/goarch/cpu difference
+// between the committed document and the current machine is reported as
+// a warning (the allocation and ticks gates are hardware-independent,
+// but ns/op comparisons across hosts are noise). ns/op is never gated
+// (CI hardware is noise); the tolerance
 // absorbs the allocation jitter of short -benchtime runs and the
 // seed-averaging difference between CI's 1x smoke runs and the committed
 // 3x measurements. The committed document is read before anything is
@@ -36,6 +42,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"regexp"
 	"strconv"
 	"strings"
 	"time"
@@ -58,6 +65,7 @@ func main() {
 	input := flag.String("input", "", "parse this saved go-test transcript instead of running benchmarks")
 	check := flag.String("check", "", "fail (exit 1) when allocs/op or ticks/round regress vs this committed document")
 	checkTol := flag.Float64("check-tol", 0.10, "relative tolerance for -check comparisons (0.10 = 10%)")
+	checkAllowMissing := flag.String("check-allow-missing", "", "regex of committed benchmark names -check tolerates being absent from the run (e.g. env-gated scale cells)")
 	flag.Parse()
 
 	var (
@@ -172,6 +180,36 @@ func main() {
 	}
 
 	if committed != nil {
+		// Cross-host timing is noise: when the committed document was
+		// generated on different hardware, say so — the allocs/ticks gates
+		// below still hold (they are hardware-independent), but any ns/op
+		// comparison a human makes against the committed file is not.
+		for _, w := range perfbench.HostMismatch(doc.Header, committed.Header) {
+			fmt.Fprintf(os.Stderr, "benchjson: warning: committed %s was measured on a different host — %s\n", *check, w)
+		}
+		// A committed cell that vanished from the run is a gate hole, not a
+		// pass: without this, dropping (or forgetting to enable) an
+		// env-gated scale cell would silently stop covering it. Expected
+		// absences are opted into per name via -check-allow-missing.
+		var allowRE *regexp.Regexp
+		if *checkAllowMissing != "" {
+			var err error
+			if allowRE, err = regexp.Compile(*checkAllowMissing); err != nil {
+				fatalf("bad -check-allow-missing regex: %v", err)
+			}
+		}
+		var gone []string
+		for _, name := range perfbench.Missing(doc, *committed) {
+			if allowRE != nil && allowRE.MatchString(name) {
+				fmt.Fprintf(os.Stderr, "benchjson: committed cell %s absent from this run (allowed by -check-allow-missing)\n", name)
+				continue
+			}
+			gone = append(gone, name)
+		}
+		if len(gone) > 0 {
+			fatalf("-check %s: committed benchmark cell(s) missing from this run: %s — run them (the scale cells need CYCLEDGER_SCALE_BIG=1) or allow them explicitly with -check-allow-missing",
+				*check, strings.Join(gone, ", "))
+		}
 		regs, compared := perfbench.Regressions(doc, *committed, *checkTol)
 		if compared == 0 {
 			// A gate that compares nothing is a broken gate, not a pass: a
